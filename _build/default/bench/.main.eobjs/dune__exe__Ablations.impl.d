@@ -1,0 +1,1 @@
+bench/ablations.ml: Int64 List Printf Sunos_baselines Sunos_hw Sunos_kernel Sunos_sim Sunos_threads Sunos_workloads

@@ -1,0 +1,1 @@
+bench/figures.ml: Format List Printf String Sunos_hw Sunos_kernel Sunos_sim Sunos_threads Sunos_workloads

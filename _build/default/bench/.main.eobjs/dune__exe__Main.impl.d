@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures List Printf Sys Wallclock

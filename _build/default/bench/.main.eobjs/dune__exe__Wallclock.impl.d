@@ -1,0 +1,1 @@
+bench/wallclock.ml: Analyze Bechamel Benchmark Effect Hashtbl Instance Int64 List Measure Printf Staged Sunos_kernel Sunos_sim Sunos_threads Test Toolkit

@@ -1,0 +1,313 @@
+(* Ablation benchmarks: the design choices DESIGN.md calls out, each run
+   as a controlled comparison.  See EXPERIMENTS.md for the claims. *)
+
+module Time = Sunos_sim.Time
+module Hist = Sunos_sim.Stats.Hist
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+module Mutex = Sunos_threads.Mutex
+module W = Sunos_workloads.Window_system
+module S = Sunos_workloads.Net_server
+module A = Sunos_workloads.Array_compute
+
+let section title = Printf.printf "\n=== %s ===\n\n" title
+
+let p50_ms h =
+  if Hist.count h = 0 then nan else Time.to_ms (Hist.percentile h 0.5)
+
+let p99_ms h =
+  if Hist.count h = 0 then nan else Time.to_ms (Hist.percentile h 0.99)
+
+(* A1: thread-model comparison on the two motivating workloads. *)
+let models () =
+  section "A1: M:N vs 1:1 vs user-only vs activations";
+  let wp = { W.default_params with widgets = 150; events = 400 } in
+  Printf.printf "window system (%d widgets, %d events):\n" wp.W.widgets
+    wp.W.events;
+  Printf.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "threads" "LWPs"
+    "p50 (ms)" "p99 (ms)" "makespan";
+  List.iter
+    (fun (module M : Sunos_baselines.Model.S) ->
+      let r = W.run (module M) ~cpus:2 wp in
+      Printf.printf "  %-12s %8d %6d %12.2f %12.2f %9.0f ms\n" M.name
+        r.W.threads_created r.W.lwps_created (p50_ms r.W.latency)
+        (p99_ms r.W.latency)
+        (Time.to_ms r.W.makespan))
+    Sunos_baselines.Model.all;
+  let sp = S.default_params in
+  Printf.printf "\nnetwork server (%d requests, 1/%d hit the disk):\n"
+    sp.S.requests sp.S.disk_every;
+  Printf.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "served" "LWPs"
+    "p50 (ms)" "p99 (ms)" "req/s";
+  List.iter
+    (fun (module M : Sunos_baselines.Model.S) ->
+      let r = S.run (module M) ~cpus:1 sp in
+      Printf.printf "  %-12s %8d %6d %12.2f %12.2f %12.0f\n" M.name r.S.served
+        r.S.lwps_created (p50_ms r.S.latency) (p99_ms r.S.latency)
+        r.S.throughput_rps)
+    Sunos_baselines.Model.all
+
+(* A2: SIGWAITING pool growth vs growth disabled. *)
+let sigwaiting () =
+  section "A2: SIGWAITING deadlock avoidance";
+  let run_case ~auto_grow =
+    let k = Kernel.boot ~cpus:2 () in
+    let unblocked = ref false in
+    ignore
+      (Kernel.spawn k ~name:"case"
+         ~main:
+           (Libthread.boot ~auto_grow (fun () ->
+                let rfd, wfd = Uctx.pipe () in
+                ignore
+                  (T.create (fun () -> ignore (Uctx.write wfd "go")));
+                (* the main thread blocks in the kernel before the helper
+                   ever runs; without pool growth this deadlocks *)
+                let got = Uctx.read rfd ~len:10 in
+                if got = "go" then unblocked := true)));
+    Kernel.run ~until:(Time.s 5) k;
+    (!unblocked, Kernel.sigwaiting_count k, Kernel.lwp_create_count k)
+  in
+  let ok_on, sw_on, lwps_on = run_case ~auto_grow:true in
+  let ok_off, sw_off, lwps_off = run_case ~auto_grow:false in
+  Printf.printf "  %-22s %10s %12s %6s\n" "configuration" "completed"
+    "SIGWAITINGs" "LWPs";
+  Printf.printf "  %-22s %10b %12d %6d\n" "auto_grow=true" ok_on sw_on lwps_on;
+  Printf.printf "  %-22s %10b %12d %6d   <- deadlocked\n" "auto_grow=false"
+    ok_off sw_off lwps_off
+
+(* A3: mutex variants under contention.  Three bound threads on two CPUs
+   hammer one lock with desynchronized think times, so collisions are
+   constant.  Makespan shows the handoff cost; consumed CPU shows what
+   spinning burns. *)
+let mutexes () =
+  section "A3: spin vs sleep vs adaptive mutexes (2 CPUs, 3 bound threads)";
+  let run_case variant ~cs_us =
+    let k = Kernel.boot ~cpus:2 () in
+    Kernel.set_tracing k false;
+    let makespan = ref Time.zero and cpu_used = ref 0L in
+    ignore
+      (Kernel.spawn k ~name:"mtx"
+         ~main:
+           (Libthread.boot (fun () ->
+                let m = Mutex.create ~variant () in
+                let worker i () =
+                  (* stagger the start so the threads collide *)
+                  Uctx.charge_us (i * (cs_us / 2));
+                  for _ = 1 to 50 do
+                    Mutex.enter m;
+                    Uctx.charge_us cs_us;
+                    Mutex.exit m;
+                    Uctx.charge_us (7 * (i + 1))
+                  done
+                in
+                let ts =
+                  List.init 3 (fun i ->
+                      T.create
+                        ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+                        (worker i))
+                in
+                List.iter (fun t -> ignore (T.wait ~thread:t ())) ts;
+                makespan := Uctx.gettime ();
+                let ru = Uctx.getrusage () in
+                cpu_used :=
+                  Int64.add ru.Sunos_kernel.Sysdefs.ru_utime
+                    ru.Sunos_kernel.Sysdefs.ru_stime)));
+    Kernel.run k;
+    (Time.to_ms !makespan, Time.to_ms !cpu_used)
+  in
+  Printf.printf "  %-10s %26s %26s\n" "variant" "short CS (40us)"
+    "long CS (3000us)";
+  Printf.printf "  %-10s %15s %10s %15s %10s\n" "" "makespan" "cpu" "makespan"
+    "cpu";
+  List.iter
+    (fun (name, v) ->
+      let m1, c1 = run_case v ~cs_us:40 in
+      let m2, c2 = run_case v ~cs_us:3000 in
+      Printf.printf "  %-10s %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" name m1
+        c1 m2 c2)
+    [ ("spin", Mutex.Spin); ("sleep", Mutex.Sleep); ("adaptive", Mutex.Adaptive) ]
+
+(* A4: fork vs fork1 as the LWP population grows. *)
+let forks () =
+  section "A4: fork() vs fork1() cost vs LWP count";
+  let measure ~lwps ~use_fork =
+    let k = Kernel.boot () in
+    Kernel.set_tracing k false;
+    let elapsed = ref 0L in
+    ignore
+      (Kernel.spawn k ~name:"forker"
+         ~main:
+           (Libthread.boot (fun () ->
+                for _ = 2 to lwps do
+                  ignore
+                    (T.create ~flags:[ T.THREAD_BIND_LWP ] (fun () ->
+                         Uctx.sleep (Time.s 2)))
+                done;
+                Uctx.charge_us 50;
+                let t0 = Uctx.gettime () in
+                let f = if use_fork then Uctx.fork else Uctx.fork1 in
+                ignore (f ~child_main:(fun () -> Uctx.exit 0));
+                elapsed := Time.diff (Uctx.gettime ()) t0;
+                Uctx.exit 0)));
+    Kernel.run k;
+    Time.to_ms !elapsed
+  in
+  Printf.printf "  %-8s %14s %14s\n" "LWPs" "fork() (ms)" "fork1() (ms)";
+  List.iter
+    (fun lwps ->
+      Printf.printf "  %-8d %14.2f %14.2f\n" lwps
+        (measure ~lwps ~use_fork:true)
+        (measure ~lwps ~use_fork:false))
+    [ 1; 4; 16; 64 ]
+
+(* A5: the array workload's thread placement argument. *)
+let array () =
+  section "A5: parallel array: unbound multiplexing vs bound-per-CPU vs gang";
+  let cpus = 4 in
+  Printf.printf "  %-26s %12s %10s\n" "configuration" "makespan" "switches";
+  List.iter
+    (fun (label, mode, spin, load) ->
+      let r =
+        A.run ~cpus ~background_load:load
+          { A.default_params with mode; spin_barrier = spin }
+      in
+      Printf.printf "  %-26s %9.1f ms %10d\n" label
+        (Time.to_ms r.A.makespan) r.A.thread_switches)
+    [
+      ("unbound x64", A.Unbound 64, false, false);
+      ("unbound x16", A.Unbound 16, false, false);
+      ("unbound x4", A.Unbound 4, false, false);
+      ("bound 1/CPU", A.Bound, false, false);
+      ("bound+gang", A.Bound_gang, false, false);
+      ("bound, spin, loaded", A.Bound, true, true);
+      ("bound+gang, spin, loaded", A.Bound_gang, true, true);
+    ]
+
+(* A6: timeshare quantum keeps interactive threads responsive. *)
+let sched () =
+  section "A6: timeshare preemption vs a CPU hog";
+  let run_case ~quantum_ms =
+    let cost =
+      {
+        Sunos_hw.Cost_model.default with
+        Sunos_hw.Cost_model.quantum = Time.ms quantum_ms;
+      }
+    in
+    let k = Kernel.boot ~cpus:1 ~cost () in
+    Kernel.set_tracing k false;
+    let lat = Hist.create "wakeups" in
+    ignore
+      (Kernel.spawn k ~name:"hog" ~main:(fun () -> Uctx.charge (Time.s 2)));
+    ignore
+      (Kernel.spawn k ~name:"interactive" ~main:(fun () ->
+           for _ = 1 to 20 do
+             let t0 = Uctx.gettime () in
+             Uctx.sleep (Time.ms 50);
+             (* how late past the nominal 50ms did we actually run? *)
+             Hist.add lat (Time.diff (Uctx.gettime ()) (Time.add t0 (Time.ms 50)))
+           done));
+    Kernel.run k;
+    lat
+  in
+  Printf.printf "  %-18s %16s %16s\n" "quantum" "wakeup lag p50" "wakeup lag p99";
+  List.iter
+    (fun q ->
+      let h = run_case ~quantum_ms:q in
+      Printf.printf "  %-15d ms %13.2f ms %13.2f ms\n" q (p50_ms h) (p99_ms h))
+    [ 10; 100; 1000 ]
+
+(* A7: the LWP interface as a language-runtime substrate (Fortran
+   microtasking), vs the same loop on bound threads. *)
+let microtask () =
+  section "A7: microtasking on raw LWPs vs bound threads (4 CPUs)";
+  let module M = Sunos_workloads.Microtask in
+  Printf.printf "  %-22s %14s %14s
+" "grain per iteration" "raw LWPs"
+    "bound threads";
+  List.iter
+    (fun grain_us ->
+      let p = { M.default_params with M.grain_us; doalls = 10 } in
+      let raw = M.run ~cpus:4 { p with M.mode = M.Raw_lwps } in
+      let thr = M.run ~cpus:4 { p with M.mode = M.Bound_threads } in
+      Printf.printf "  %-19dus %11.2f ms %11.2f ms
+" grain_us
+        (Time.to_ms raw.M.makespan)
+        (Time.to_ms thr.M.makespan))
+    [ 50; 200; 1000 ]
+
+(* A8: the Chorus comparison — broadcast signal delivery causes
+   "synchronization storms"; SunOS hands each signal to ONE eligible
+   thread.  N threads wait for keyboard-like interrupts; M signals are
+   sent; count handler executions and the post-handler lock contention. *)
+let broadcast () =
+  section "A8: SunOS single-delivery vs Chorus-style broadcast";
+  let module Sem = Sunos_threads.Semaphore in
+  let module Signo = Sunos_kernel.Signo in
+  let module Sysdefs = Sunos_kernel.Sysdefs in
+  let run_case ~broadcast =
+    let k = Kernel.boot ~cpus:2 () in
+    Kernel.set_tracing k false;
+    let handler_runs = ref 0 and makespan = ref Time.zero in
+    ignore
+      (Kernel.spawn k ~name:"svc"
+         ~main:
+           (Libthread.boot (fun () ->
+                let m = Mutex.create () in
+                let stop = Sem.create () in
+                ignore
+                  (T.sigaction Signo.sigusr1
+                     (Sysdefs.Sig_handler
+                        (fun _ ->
+                          incr handler_runs;
+                          (* handlers synchronize afterwards: with
+                             broadcast, every waiter piles onto the
+                             lock — the "synchronization storm" *)
+                          Mutex.enter m;
+                          Uctx.charge_us 80;
+                          Mutex.exit m)));
+                let waiters =
+                  List.init 8 (fun _ ->
+                      T.create ~flags:[ T.THREAD_WAIT ] (fun () -> Sem.p stop))
+                in
+                T.yield ();
+                for _ = 1 to 10 do
+                  if broadcast then T.sigsend_all Signo.sigusr1
+                  else Uctx.kill ~pid:(Uctx.getpid ()) Signo.sigusr1;
+                  T.yield ();
+                  Uctx.charge_us 200
+                done;
+                (* drain *)
+                for _ = 1 to 8 do
+                  Sem.v stop
+                done;
+                List.iter (fun t -> ignore (T.wait ~thread:t ())) waiters;
+                makespan := Uctx.gettime ())));
+    Kernel.run k;
+    (!handler_runs, Time.to_ms !makespan)
+  in
+  let runs_single, t_single = run_case ~broadcast:false in
+  let runs_bcast, t_bcast = run_case ~broadcast:true in
+  Printf.printf "  %-28s %14s %12s
+" "delivery (10 signals sent)"
+    "handler runs" "makespan";
+  Printf.printf "  %-28s %14d %9.2f ms
+" "SunOS: one eligible thread"
+    runs_single t_single;
+  Printf.printf "  %-28s %14d %9.2f ms   <- storm
+"
+    "Chorus-style broadcast" runs_bcast t_bcast;
+  Printf.printf
+    "  (broadcast also makes the number of signals received uncountable,      as the paper notes)
+"
+
+let all () =
+  models ();
+  sigwaiting ();
+  mutexes ();
+  forks ();
+  array ();
+  microtask ();
+  broadcast ();
+  sched ()

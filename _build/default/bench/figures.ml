@@ -1,0 +1,264 @@
+(* Reproduction of every figure in the paper's evaluation, plus the
+   demonstrations for the non-measurement figures.  Each function prints
+   a paper-shaped table; `Bench_main` dispatches on argv. *)
+
+module Time = Sunos_sim.Time
+module Tracebuf = Sunos_sim.Tracebuf
+module Shm = Sunos_hw.Shared_memory
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Sysdefs = Sunos_kernel.Sysdefs
+module Fs = Sunos_kernel.Fs
+module Procfs = Sunos_kernel.Procfs
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+module Mutex = Sunos_threads.Mutex
+module Semaphore = Sunos_threads.Semaphore
+module Syncvar = Sunos_threads.Syncvar
+
+let us = Time.to_us
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: synchronization variables shared via a mapped file        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two processes map the same file; a record mutex inside it excludes
+   them; the variable outlives its creator. *)
+let fig1 () =
+  section
+    "Figure 1: synchronization variables in shared memory / mapped files";
+  let k = Kernel.boot ~cpus:2 () in
+  (match Fs.create_file (Kernel.fs k) ~path:"/records" () with
+  | Ok _ -> ()
+  | Error _ -> failwith "setup");
+  let log = ref [] in
+  let overlap = ref false and depth = ref 0 in
+  let note who what =
+    (if what = "enter" then begin
+       incr depth;
+       if !depth > 1 then overlap := true
+     end
+     else decr depth);
+    log := (who, what) :: !log
+  in
+  let proc name ~creator () =
+    let fd = Uctx.open_file "/records" in
+    let seg = Uctx.mmap fd in
+    let record_lock = Mutex.create_shared (Syncvar.place seg ~offset:128) in
+    for _ = 1 to 3 do
+      Mutex.enter record_lock;
+      note name "enter";
+      Uctx.charge_us 400;
+      note name "exit";
+      Mutex.exit record_lock;
+      Uctx.charge_us 100
+    done;
+    (* the creating process exits first; the variable lives on in the
+       file for the other process *)
+    if creator then Uctx.exit 0
+  in
+  ignore
+    (Kernel.spawn k ~name:"p1" ~main:(Libthread.boot (proc "process-1" ~creator:true)));
+  ignore
+    (Kernel.spawn k ~name:"p2" ~main:(Libthread.boot (proc "process-2" ~creator:false)));
+  Kernel.run k;
+  Printf.printf "lock/unlock sequence on the mapped record lock:\n";
+  List.iter
+    (fun (who, what) -> Printf.printf "  %-10s %s\n" who what)
+    (List.rev !log);
+  Printf.printf
+    "\ncritical sections executed: %d   overlap observed: %b (must be false)\n"
+    (List.length !log / 2) !overlap;
+  Printf.printf
+    "the lock variable lived in the file and outlived process-1's exit.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: an LWP picks, runs, saves and re-picks threads            *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "Figure 2: one LWP multiplexing threads (pick/run/save cycle)";
+  let k = Kernel.boot ~cpus:1 () in
+  let steps = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"fig2"
+       ~main:
+         (Libthread.boot (fun () ->
+              let work tag () =
+                for _ = 1 to 2 do
+                  steps := Printf.sprintf "thread %s runs" tag :: !steps;
+                  Uctx.charge_us 50;
+                  T.yield ()
+                done
+              in
+              let a = T.create ~flags:[ T.THREAD_WAIT ] (work "A") in
+              let b = T.create ~flags:[ T.THREAD_WAIT ] (work "B") in
+              ignore (T.wait ~thread:a ());
+              ignore (T.wait ~thread:b ());
+              let st = Libthread.stats () in
+              steps :=
+                Printf.sprintf
+                  "(%d user-level switches, 0 kernel dispatches for them)"
+                  st.Libthread.switches
+                :: !steps)));
+  let dispatches_before = Kernel.dispatch_count k in
+  Kernel.run k;
+  List.iter (Printf.printf "  %s\n") (List.rev !steps);
+  Printf.printf
+    "\nkernel dispatches for the whole run: %d (the thread switches above \
+     never entered the kernel)\n"
+    (Kernel.dispatch_count k - dispatches_before)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: the five process configurations                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Figure 3: the five multi-thread process configurations";
+  let k = Kernel.boot ~cpus:2 () in
+  let stop = Semaphore.create () in
+  let halt_threads n =
+    (* park [n] worker threads until shutdown *)
+    List.init n (fun _ ->
+        T.create ~flags:[ T.THREAD_WAIT ] (fun () -> Semaphore.p stop))
+  in
+  let finish ts =
+    for _ = 1 to List.length ts do
+      Semaphore.v stop
+    done;
+    List.iter (fun t -> ignore (T.wait ~thread:t ())) ts
+  in
+  (* proc 1: traditional single-threaded process *)
+  ignore
+    (Kernel.spawn k ~name:"proc1-traditional" ~main:(fun () ->
+         Uctx.sleep (Time.ms 40)));
+  (* proc 2: several threads multiplexed on one LWP (coroutine style) *)
+  ignore
+    (Kernel.spawn k ~name:"proc2-coroutines"
+       ~main:
+         (Libthread.boot ~auto_grow:false (fun () ->
+              let ts = halt_threads 3 in
+              Uctx.sleep (Time.ms 40);
+              finish ts)));
+  (* proc 3: threads multiplexed on fewer LWPs *)
+  ignore
+    (Kernel.spawn k ~name:"proc3-m-on-n"
+       ~main:
+         (Libthread.boot (fun () ->
+              T.setconcurrency 2;
+              let ts = halt_threads 4 in
+              Uctx.sleep (Time.ms 40);
+              finish ts)));
+  (* proc 4: threads permanently bound to LWPs *)
+  ignore
+    (Kernel.spawn k ~name:"proc4-bound"
+       ~main:
+         (Libthread.boot (fun () ->
+              let ts =
+                List.init 2 (fun _ ->
+                    T.create
+                      ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+                      (fun () -> Semaphore.p stop))
+              in
+              Uctx.sleep (Time.ms 40);
+              finish ts)));
+  (* proc 5: the mixture, plus an LWP bound to a CPU *)
+  ignore
+    (Kernel.spawn k ~name:"proc5-mixed"
+       ~main:
+         (Libthread.boot (fun () ->
+              T.setconcurrency 2;
+              let unbound = halt_threads 3 in
+              let bound =
+                T.create
+                  ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+                  (fun () ->
+                    Uctx.processor_bind (Some 1);
+                    Semaphore.p stop)
+              in
+              Uctx.sleep (Time.ms 40);
+              finish (bound :: unbound))));
+  (* snapshot while everyone is alive *)
+  Kernel.run ~until:(Time.ms 20) k;
+  Format.printf "%a" Procfs.pp k;
+  Kernel.run k;
+  Printf.printf
+    "(snapshot at t=20ms; lwp counts per process realize the figure's five \
+     shapes)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: interface conformance                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Figure 4: thread interface conformance checklist";
+  (* every entry point of the paper's Figure 4 and its OCaml rendering;
+     each is exercised by the test suite *)
+  let rows =
+    [
+      ("thread_create(stack, size, func, arg, flags)", "Thread.create ?flags ?stack f");
+      ("thread_setconcurrency(n)", "Thread.setconcurrency n");
+      ("thread_exit()", "Thread.exit ()");
+      ("thread_wait(thread_id)", "Thread.wait ?thread ()");
+      ("thread_get_id()", "Thread.get_id ()");
+      ("thread_sigsetmask(how, set, oset)", "Thread.sigsetmask how set");
+      ("thread_kill(thread_id, sig)", "Thread.kill tid signo");
+      ("thread_stop(thread_id)", "Thread.stop ?thread ()");
+      ("thread_continue(thread_id)", "Thread.continue tid");
+      ("thread_priority(thread_id, pri)", "Thread.priority ?thread pri");
+      ("mutex_init / enter / exit / tryenter", "Mutex.create{,_shared} / enter / exit / try_enter");
+      ("cv_init / wait / signal / broadcast", "Condvar.create{,_shared} / wait / signal / broadcast");
+      ("sema_init / p / v / tryp", "Semaphore.create{,_shared} / p / v / try_p");
+      ("rw_init / enter / exit / tryenter", "Rwlock.create{,_shared} / enter / exit / try_enter");
+      ("rw_downgrade / rw_tryupgrade", "Rwlock.downgrade / try_upgrade");
+      ("THREAD_STOP | THREAD_NEW_LWP | THREAD_BIND_LWP | THREAD_WAIT", "Thread.flag variants");
+      ("fork() / fork1()", "Uctx.fork / Uctx.fork1");
+      ("SIGWAITING pool growth", "Libthread.boot ~auto_grow:true");
+    ]
+  in
+  Printf.printf "%-58s %s\n" "paper (Figure 4 / text)" "this library";
+  Printf.printf "%s\n" (String.make 110 '-');
+  List.iter (fun (a, b) -> Printf.printf "%-58s %s\n" a b) rows;
+  Printf.printf "\nall %d entry points implemented and under test.\n"
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: thread creation time                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "Figure 5: thread creation time (cached default stack)";
+  let r = Sunos_workloads.Microbench.creation () in
+  let unbound = r.Sunos_workloads.Microbench.unbound_us in
+  let bound = r.Sunos_workloads.Microbench.bound_us in
+  Printf.printf "%-28s %10s %8s    %s\n" "" "time (us)" "ratio"
+    "paper (us, ratio)";
+  Printf.printf "%-28s %10.0f %8s    %s\n" "Unbound thread create" unbound ""
+    "56";
+  Printf.printf "%-28s %10.0f %8.0f    %s\n" "Bound thread create" bound
+    (bound /. unbound) "2327, 42";
+  (unbound, bound)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: thread synchronization time                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Figure 6: thread synchronization time (semaphore ping-pong / 2)";
+  let r = Sunos_workloads.Microbench.sync () in
+  let open Sunos_workloads.Microbench in
+  Printf.printf "%-28s %10s %8s    %s\n" "" "time (us)" "ratio"
+    "paper (us, ratio)";
+  Printf.printf "%-28s %10.0f %8s    %s\n" "Setjmp/longjmp" r.setjmp_us "" "59";
+  Printf.printf "%-28s %10.0f %8.1f    %s\n" "Unbound thread sync" r.unbound_us
+    (r.unbound_us /. r.setjmp_us) "158, 2.7";
+  Printf.printf "%-28s %10.0f %8.1f    %s\n" "Bound thread sync" r.bound_us
+    (r.bound_us /. r.unbound_us) "348, 2.2";
+  Printf.printf "%-28s %10.0f %8.2f    %s\n" "Cross process thread sync"
+    r.cross_process_us
+    (r.cross_process_us /. r.bound_us)
+    "301, .86";
+  (r.setjmp_us, r.unbound_us, r.bound_us, r.cross_process_us)

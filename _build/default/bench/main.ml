@@ -1,0 +1,50 @@
+(* Benchmark harness: regenerates every figure in the paper plus the
+   ablations in EXPERIMENTS.md.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig5    # one figure
+     dune exec bench/main.exe -- list    # available targets *)
+
+let targets : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "sync variables in shared memory / mapped files", Figures.fig1);
+    ("fig2", "LWPs running threads (pick/run/save trace)", Figures.fig2);
+    ("fig3", "the five process configurations", Figures.fig3);
+    ("fig4", "thread interface conformance", Figures.fig4);
+    ("fig5", "thread creation time", fun () -> ignore (Figures.fig5 ()));
+    ("fig6", "thread synchronization time", fun () -> ignore (Figures.fig6 ()));
+    ("ablation-models", "M:N vs 1:1 vs user-only vs activations", Ablations.models);
+    ("ablation-sigwaiting", "SIGWAITING deadlock avoidance", Ablations.sigwaiting);
+    ("ablation-mutex", "spin vs sleep vs adaptive mutexes", Ablations.mutexes);
+    ("ablation-fork", "fork vs fork1 vs LWP count", Ablations.forks);
+    ("ablation-array", "array thread placement & gang", Ablations.array);
+    ("ablation-sched", "timeshare quantum responsiveness", Ablations.sched);
+    ("ablation-microtask", "raw-LWP language runtime vs bound threads", Ablations.microtask);
+    ("ablation-broadcast", "single signal delivery vs Chorus broadcast", Ablations.broadcast);
+    ("wallclock", "Bechamel microbenchmarks of the engine", Wallclock.benchmark);
+  ]
+
+let run_all () =
+  Printf.printf
+    "SunOS Multi-thread Architecture reproduction — benchmark suite\n";
+  Printf.printf
+    "(simulated SPARCstation 1+ cost model; paper values alongside)\n";
+  List.iter (fun (_, _, f) -> f ()) targets
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_all ()
+  | [ _; "list" ] ->
+      List.iter (fun (n, d, _) -> Printf.printf "%-22s %s\n" n d) targets
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) targets with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.eprintf
+                "unknown target %S (try: dune exec bench/main.exe -- list)\n"
+                name;
+              exit 1)
+        names
+  | [] -> ()

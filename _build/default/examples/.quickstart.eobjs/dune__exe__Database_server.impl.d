@@ -1,0 +1,1 @@
+examples/database_server.ml: Format List Sunos_sim Sunos_workloads

@@ -1,0 +1,1 @@
+examples/network_server.ml: Format List Sunos_baselines Sunos_sim Sunos_workloads

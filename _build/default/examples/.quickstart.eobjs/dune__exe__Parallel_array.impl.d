@@ -1,0 +1,1 @@
+examples/parallel_array.ml: Format List Sunos_workloads

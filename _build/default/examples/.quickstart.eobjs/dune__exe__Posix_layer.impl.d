@@ -1,0 +1,1 @@
+examples/posix_layer.ml: Array Format List Printf Queue Sunos_kernel Sunos_pthread Sunos_sim Sunos_threads

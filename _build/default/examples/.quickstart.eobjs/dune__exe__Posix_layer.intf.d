@@ -1,0 +1,1 @@
+examples/posix_layer.mli:

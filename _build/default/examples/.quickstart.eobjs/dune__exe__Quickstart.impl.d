@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Sunos_kernel Sunos_sim Sunos_threads

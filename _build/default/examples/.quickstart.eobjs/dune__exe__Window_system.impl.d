@@ -1,0 +1,1 @@
+examples/window_system.ml: Format List Sunos_baselines Sunos_sim Sunos_workloads

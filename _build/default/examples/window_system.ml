@@ -1,0 +1,33 @@
+(* The window-system scenario from the paper's introduction, run on all
+   four thread architectures.  Each widget gets an input handler and an
+   output handler — hundreds of threads, almost all idle — and the
+   architectures differ in what that costs.
+
+   Run with:  dune exec examples/window_system.exe *)
+
+module W = Sunos_workloads.Window_system
+
+let () =
+  let p = { W.default_params with widgets = 150; events = 400 } in
+  Format.printf
+    "Window system: %d widgets (x2 handler threads each), %d input events@\n\
+     model        | threads | LWPs | p50 latency | makespan@\n\
+     -------------+---------+------+-------------+---------@\n"
+    p.W.widgets p.W.events;
+  List.iter
+    (fun (module M : Sunos_baselines.Model.S) ->
+      let r = W.run (module M) ~cpus:2 p in
+      let p50 =
+        if Sunos_sim.Stats.Hist.count r.W.latency = 0 then nan
+        else
+          Sunos_sim.Time.to_ms (Sunos_sim.Stats.Hist.percentile r.W.latency 0.5)
+      in
+      Format.printf "%-12s | %7d | %4d | %8.2f ms | %a@\n" M.name
+        r.W.threads_created r.W.lwps_created p50 Sunos_sim.Time.pp
+        r.W.makespan)
+    Sunos_baselines.Model.all;
+  Format.printf
+    "@\nReading: the M:N architecture (mt) serves hundreds of threads with \
+     a couple of LWPs@\nand keeps latency low; liblwp (user-level only) \
+     stalls whole-process on the wire read;@\ncthreads (1:1) pays kernel \
+     synchronization on every event.@."

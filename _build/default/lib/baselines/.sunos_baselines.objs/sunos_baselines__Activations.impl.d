@@ -1,0 +1,1 @@
+lib/baselines/activations.ml: Sunos_threads

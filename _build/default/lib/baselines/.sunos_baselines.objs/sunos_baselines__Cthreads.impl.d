@@ -1,0 +1,1 @@
+lib/baselines/cthreads.ml: Sunos_threads

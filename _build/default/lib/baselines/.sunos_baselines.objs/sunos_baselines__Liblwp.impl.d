@@ -1,0 +1,1 @@
+lib/baselines/liblwp.ml: Sunos_kernel Sunos_sim Sunos_threads

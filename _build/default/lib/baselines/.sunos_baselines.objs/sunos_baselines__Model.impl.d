@@ -1,0 +1,1 @@
+lib/baselines/model.ml: Activations Cthreads Liblwp List Mt Sunos_hw

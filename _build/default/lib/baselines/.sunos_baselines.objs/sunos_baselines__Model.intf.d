@@ -1,0 +1,1 @@
+lib/baselines/model.mli: Sunos_hw

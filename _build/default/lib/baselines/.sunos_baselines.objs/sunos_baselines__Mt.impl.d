@@ -1,0 +1,1 @@
+lib/baselines/mt.ml: Sunos_threads

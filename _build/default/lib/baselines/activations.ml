@@ -1,0 +1,40 @@
+(* Scheduler activations in the University of Washington style [Anderson
+   1990]: user-level threads like the MT architecture, but the kernel
+   performs an upcall on EVERY block of a virtual processor, not only
+   when the whole process would otherwise stall.  The library can thus
+   keep a virtual processor running another thread across every kernel
+   wait — finer-grained than SIGWAITING, at the price of one notification
+   (and possibly one LWP creation) per blocking event.
+
+   Realized with the kernel's [upcall_on_block] mode: on every
+   application block the kernel either unparks one of the pool's idle
+   LWPs or creates a fresh activation that enters the pool's LWP main
+   loop. *)
+
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+
+let name = "activations"
+let boot ?cost main = Libthread.boot ?cost ~activations:true main
+
+type thread = T.id
+
+let spawn f = T.create ~flags:[ T.THREAD_WAIT ] f
+let join t = ignore (T.wait ~thread:t ())
+let yield = T.yield
+
+module Mu = struct
+  type t = Sunos_threads.Mutex.t
+
+  let create () = Sunos_threads.Mutex.create ()
+  let lock = Sunos_threads.Mutex.enter
+  let unlock = Sunos_threads.Mutex.exit
+end
+
+module Sem = struct
+  type t = Sunos_threads.Semaphore.t
+
+  let create count = Sunos_threads.Semaphore.create ~count ()
+  let p = Sunos_threads.Semaphore.p
+  let v = Sunos_threads.Semaphore.v
+end

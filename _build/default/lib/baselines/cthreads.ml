@@ -1,0 +1,36 @@
+(* Mach 2.5 C Threads in its kernel-thread configuration [Cooper 1990]:
+   every thread maps 1:1 onto a kernel-supported thread of control.  No
+   two-level model: creation always pays the kernel (the paper's Figure 5
+   bound row), and contended synchronization always takes kernel round
+   trips (the Figure 6 bound row).  Realized as the threads library with
+   every thread THREAD_BIND_LWP. *)
+
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+
+let name = "cthreads"
+
+(* growth is irrelevant: each thread brings its own LWP *)
+let boot ?cost main = Libthread.boot ?cost ~auto_grow:false main
+
+type thread = T.id
+
+let spawn f = T.create ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ] f
+let join t = ignore (T.wait ~thread:t ())
+let yield = T.yield
+
+module Mu = struct
+  type t = Sunos_threads.Mutex.t
+
+  let create () = Sunos_threads.Mutex.create ()
+  let lock = Sunos_threads.Mutex.enter
+  let unlock = Sunos_threads.Mutex.exit
+end
+
+module Sem = struct
+  type t = Sunos_threads.Semaphore.t
+
+  let create count = Sunos_threads.Semaphore.create ~count ()
+  let p = Sunos_threads.Semaphore.p
+  let v = Sunos_threads.Semaphore.v
+end

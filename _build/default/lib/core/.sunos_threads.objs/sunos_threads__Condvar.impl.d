@@ -1,0 +1,1 @@
+lib/core/condvar.ml: Current List Mutex Pool Sunos_hw Sunos_kernel Sunos_sim Syncvar Ttypes Waitq

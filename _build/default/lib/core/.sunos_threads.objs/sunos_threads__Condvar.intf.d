@@ -1,0 +1,1 @@
+lib/core/condvar.mli: Mutex Syncvar

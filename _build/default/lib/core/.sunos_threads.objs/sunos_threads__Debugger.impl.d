@@ -1,0 +1,1 @@
+lib/core/debugger.ml: Format Hashtbl List Printf Sunos_kernel Ttypes

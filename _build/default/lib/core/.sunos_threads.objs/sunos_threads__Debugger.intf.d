@@ -1,0 +1,1 @@
+lib/core/debugger.mli: Format Sunos_kernel Ttypes

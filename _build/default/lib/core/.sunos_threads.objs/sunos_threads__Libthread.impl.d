@@ -1,0 +1,1 @@
+lib/core/libthread.ml: Current Debugger Hashtbl List Pool Sunos_hw Sunos_kernel Ttypes

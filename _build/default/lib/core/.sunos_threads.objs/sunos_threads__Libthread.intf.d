@@ -1,0 +1,1 @@
+lib/core/libthread.mli: Sunos_hw

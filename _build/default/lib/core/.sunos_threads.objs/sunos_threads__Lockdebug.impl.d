@@ -1,0 +1,1 @@
+lib/core/lockdebug.ml: Current Hashtbl List Mutex Printexc Printf Sunos_hw Sunos_kernel Sunos_sim Tls Ttypes

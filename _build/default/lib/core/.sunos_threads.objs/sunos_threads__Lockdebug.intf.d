@@ -1,0 +1,1 @@
+lib/core/lockdebug.mli: Sunos_sim

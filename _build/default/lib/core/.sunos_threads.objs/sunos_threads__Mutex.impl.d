@@ -1,0 +1,1 @@
+lib/core/mutex.ml: Current Pool Printexc Sunos_hw Sunos_kernel Sunos_sim Syncvar Ttypes Waitq

@@ -1,0 +1,1 @@
+lib/core/mutex.mli: Syncvar Ttypes

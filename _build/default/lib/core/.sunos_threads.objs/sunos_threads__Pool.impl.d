@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Current Effect Hashtbl List Queue Sunos_hw Sunos_kernel Sunos_sim Sysdefs Ttypes

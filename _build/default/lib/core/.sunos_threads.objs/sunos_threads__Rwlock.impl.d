@@ -1,0 +1,1 @@
+lib/core/rwlock.ml: Current List Pool Sunos_hw Sunos_kernel Sunos_sim Syncvar Ttypes Waitq

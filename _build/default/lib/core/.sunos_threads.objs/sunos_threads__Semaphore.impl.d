@@ -1,0 +1,1 @@
+lib/core/semaphore.ml: Current Pool Sunos_hw Sunos_kernel Sunos_sim Syncvar Ttypes Waitq

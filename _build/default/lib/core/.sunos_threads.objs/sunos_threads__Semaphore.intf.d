@@ -1,0 +1,1 @@
+lib/core/semaphore.mli: Syncvar

@@ -1,0 +1,1 @@
+lib/core/sigdeliver.ml: Array Current Hashtbl List Pool Queue Sunos_hw Sunos_kernel Ttypes

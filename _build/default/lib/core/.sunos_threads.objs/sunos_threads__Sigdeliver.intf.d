@@ -1,0 +1,1 @@
+lib/core/sigdeliver.mli: Sunos_kernel Ttypes

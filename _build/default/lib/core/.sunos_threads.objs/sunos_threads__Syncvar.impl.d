@@ -1,0 +1,1 @@
+lib/core/syncvar.ml: Printf Sunos_hw Sunos_kernel Sunos_sim

@@ -1,0 +1,1 @@
+lib/core/syncvar.mli: Sunos_hw Sunos_sim

@@ -1,0 +1,1 @@
+lib/core/thread.ml: Current Hashtbl List Pool Sigdeliver Sunos_hw Sunos_kernel Ttypes

@@ -1,0 +1,1 @@
+lib/core/timers.ml: Current List Pool Sigdeliver Sunos_kernel Sunos_sim Ttypes

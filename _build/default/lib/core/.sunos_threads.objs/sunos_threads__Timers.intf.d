@@ -1,0 +1,1 @@
+lib/core/timers.mli: Sunos_sim

@@ -1,0 +1,1 @@
+lib/core/tls.ml: Array Current Sunos_hw Sunos_kernel Sunos_sim Ttypes

@@ -1,0 +1,1 @@
+lib/core/ttypes.ml: Effect Hashtbl Queue Sunos_hw Sunos_kernel Sunos_sim

@@ -1,0 +1,1 @@
+lib/core/waitq.mli: Ttypes

@@ -1,0 +1,32 @@
+(** Condition variables ([cv_wait] / [cv_signal] / [cv_broadcast]).
+
+    Always used with a mutex: [wait] releases it before blocking and
+    reacquires it before returning, so the condition must be re-tested in
+    a loop — wakeup order is not guaranteed, reacquisition races with
+    other contenders, and a signal handler interruption surfaces as a
+    spurious wakeup.
+
+    A condvar created with {!create_shared} synchronizes across processes
+    (pair it with a shared mutex at a different offset). *)
+
+type t
+
+val create : unit -> t
+val create_shared : Syncvar.place -> t
+
+val wait : t -> Mutex.t -> unit
+(** Atomically release the mutex and block; the mutex is held again when
+    [wait] returns.  Typical use:
+    {[
+      Mutex.enter m;
+      while not (condition ()) do Condvar.wait cv m done;
+      ...;
+      Mutex.exit m
+    ]} *)
+
+val signal : t -> unit
+(** Wake one waiter (no-op when none). *)
+
+val broadcast : t -> unit
+(** Wake every waiter; they re-contend for the mutex, so use with care
+    (appropriate when variable amounts of resource are released). *)

@@ -1,0 +1,10 @@
+let cur : Ttypes.tcb option ref = ref None
+
+let get () =
+  match !cur with
+  | Some t -> t
+  | None -> failwith "Sunos_threads: no current thread (Libthread.boot missing?)"
+
+let get_opt () = !cur
+let set t = cur := t
+let pool () = (get ()).Ttypes.pool

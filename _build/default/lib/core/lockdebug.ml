@@ -1,0 +1,106 @@
+module Time = Sunos_sim.Time
+module Uctx = Sunos_kernel.Uctx
+module Cost = Sunos_hw.Cost_model
+
+type t = {
+  name : string;
+  id : int;
+  mu : Mutex.t;
+  mutable acquisitions : int;
+  mutable contentions : int;
+  mutable acquired_at : Time.t;
+  mutable max_hold : Time.span;
+}
+
+exception Self_deadlock of string
+exception Lock_order_violation of string * string
+
+let () =
+  Printexc.register_printer (function
+    | Self_deadlock n -> Some (Printf.sprintf "Lockdebug: relock of %S" n)
+    | Lock_order_violation (held, wanted) ->
+        Some
+          (Printf.sprintf
+             "Lockdebug: taking %S while holding %S contradicts recorded \
+              order"
+             wanted held)
+    | _ -> None)
+
+let next_id = ref 0
+
+(* The lock-order graph: an edge (a, b) means "a was held while b was
+   acquired".  Acquiring b while holding a when (b, a) is already
+   recorded is a potential ABBA deadlock.  Process-global, like a real
+   lockdep. *)
+let order_edges : (int * int, string * string) Hashtbl.t = Hashtbl.create 64
+
+let reset_order_graph () = Hashtbl.reset order_edges
+
+(* Locks the calling thread currently holds, most recent first. *)
+let held_stack : (int * string) list Tls.key = Tls.key ~default:[]
+
+let create ~name =
+  incr next_id;
+  {
+    name;
+    id = !next_id;
+    mu = Mutex.create ();
+    acquisitions = 0;
+    contentions = 0;
+    acquired_at = Time.zero;
+    max_hold = 0L;
+  }
+
+let name t = t.name
+let held_by_self t = Mutex.holding t.mu
+
+let charge_check () =
+  (* the debugging variant pays for its bookkeeping *)
+  Uctx.charge (Current.pool ()).Ttypes.cost.Cost.sync_slow_extra
+
+let check_order t =
+  let held = Tls.get held_stack in
+  List.iter
+    (fun (held_id, held_name) ->
+      if Hashtbl.mem order_edges (t.id, held_id) then
+        raise (Lock_order_violation (held_name, t.name));
+      if not (Hashtbl.mem order_edges (held_id, t.id)) then
+        Hashtbl.replace order_edges (held_id, t.id) (held_name, t.name))
+    held
+
+let note_acquired t =
+  t.acquisitions <- t.acquisitions + 1;
+  t.acquired_at <- Uctx.gettime ();
+  Tls.set held_stack ((t.id, t.name) :: Tls.get held_stack)
+
+let enter t =
+  charge_check ();
+  if Mutex.holding t.mu then raise (Self_deadlock t.name);
+  check_order t;
+  if not (Mutex.try_enter t.mu) then begin
+    t.contentions <- t.contentions + 1;
+    Mutex.enter t.mu
+  end;
+  note_acquired t
+
+let try_enter t =
+  charge_check ();
+  if Mutex.holding t.mu then raise (Self_deadlock t.name);
+  if Mutex.try_enter t.mu then begin
+    check_order t;
+    note_acquired t;
+    true
+  end
+  else false
+
+let exit t =
+  charge_check ();
+  let hold = Time.diff (Uctx.gettime ()) t.acquired_at in
+  if Time.(hold > t.max_hold) then t.max_hold <- hold;
+  Tls.set held_stack
+    (List.filter (fun (id, _) -> id <> t.id) (Tls.get held_stack));
+  Mutex.exit t.mu
+
+let acquisitions t = t.acquisitions
+let contentions t = t.contentions
+let max_hold t = t.max_hold

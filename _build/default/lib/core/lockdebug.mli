@@ -1,0 +1,39 @@
+(** Debugging variant of mutual-exclusion locks.
+
+    The paper lets the programmer pick "extra debugging" implementations
+    when a synchronization variable is initialized; this module is that
+    variant: a mutex that additionally
+
+    - detects self-deadlock (relocking a lock the thread already holds)
+      and raises instead of hanging;
+    - tracks the process-wide lock-order graph and raises on an
+      acquisition that creates an ordering cycle (potential ABBA
+      deadlock), naming the two locks involved;
+    - keeps statistics: acquisitions, contended acquisitions, and the
+      longest hold time.
+
+    The checks cost extra user-level work (charged to the simulated
+    clock), which is exactly why they are an opt-in variant. *)
+
+type t
+
+exception Self_deadlock of string
+exception Lock_order_violation of string * string
+    (** [(held, wanted)]: acquiring [wanted] while holding [held]
+        contradicts a previously recorded order. *)
+
+val create : name:string -> t
+val name : t -> string
+
+val enter : t -> unit
+val exit : t -> unit
+val try_enter : t -> bool
+
+val held_by_self : t -> bool
+
+val acquisitions : t -> int
+val contentions : t -> int
+val max_hold : t -> Sunos_sim.Time.span
+
+val reset_order_graph : unit -> unit
+(** Forget recorded lock orderings (for tests; process-global). *)

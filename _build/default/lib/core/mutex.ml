@@ -1,0 +1,195 @@
+open Ttypes
+module Uctx = Sunos_kernel.Uctx
+module Univ = Sunos_sim.Univ
+module Time = Sunos_sim.Time
+module Cost = Sunos_hw.Cost_model
+
+type variant = Sleep | Spin | Adaptive
+
+type priv_state = {
+  variant : variant;
+  mutable owner : tcb option;
+  waitq : Waitq.t;
+}
+
+(* Cross-process state: identified by (pid, tid) numbers since TCBs are
+   meaningless in other processes. *)
+type shared_state = {
+  mutable s_locked : bool;
+  mutable s_owner_pid : int;
+  mutable s_owner_tid : int;
+}
+
+type t =
+  | Private of priv_state
+  | Shared of { state : shared_state; at : Syncvar.place }
+
+let shared_key : shared_state Univ.key = Univ.key ()
+
+let create ?(variant = Sleep) () =
+  Private { variant; owner = None; waitq = Waitq.create () }
+
+let create_shared at =
+  let state =
+    Syncvar.locate at ~key:shared_key ~make:(fun () ->
+        { s_locked = false; s_owner_pid = 0; s_owner_tid = 0 })
+  in
+  Shared { state; at }
+
+let cost_of (tcb : tcb) = tcb.pool.cost
+
+exception Not_owner
+
+let () =
+  Printexc.register_printer (function
+    | Not_owner -> Some "Mutex: releasing a lock not held by this thread"
+    | _ -> None)
+
+(* --- private (within-process) --------------------------------------- *)
+
+(* Spin until the lock frees.  Each probe is a charge, so ownership is
+   re-examined at every simulated-time boundary; on a uniprocessor the
+   spinner eventually exhausts its quantum and the owner runs. *)
+let rec spin_until_free c s =
+  if s.owner <> None then begin
+    Uctx.charge c.Cost.sync_fast;
+    spin_until_free c s
+  end
+
+let rec sleep_until_owned s self =
+  if s.owner = None then s.owner <- Some self
+  else begin
+    (* commit rule: no effect between this check and the Suspend *)
+    match
+      Pool.suspend ~park:(fun tcb ->
+          tcb.tstate <- Tblocked;
+          tcb.cancel_wait <- Waitq.add s.waitq tcb)
+    with
+    | Wake_normal ->
+        (* handoff: the releaser made us the owner *)
+        assert (match s.owner with Some o -> o == self | None -> false)
+    | Wake_signal _ ->
+        Pool.run_pending_tsigs ();
+        sleep_until_owned s self
+  end
+
+let enter_private s self =
+  let c = cost_of self in
+  Uctx.charge c.Cost.sync_fast;
+  Pool.thread_checkpoint ();
+  if s.owner = None then s.owner <- Some self
+  else begin
+    Uctx.charge c.Cost.sync_slow_extra;
+    match s.variant with
+    | Spin ->
+        spin_until_free c s;
+        s.owner <- Some self
+    | Adaptive ->
+        (* spin briefly while the owner is on a CPU, else sleep *)
+        let spins = ref 0 in
+        let owner_running () =
+          match s.owner with
+          | Some o -> o.tstate = Trunning
+          | None -> false
+        in
+        while s.owner <> None && owner_running () && !spins < 5 do
+          Uctx.charge c.Cost.sync_fast;
+          incr spins
+        done;
+        if s.owner = None then s.owner <- Some self
+        else sleep_until_owned s self
+    | Sleep -> sleep_until_owned s self
+  end
+
+let exit_private s self =
+  (match s.owner with
+  | Some o when o == self -> ()
+  | Some _ | None -> raise Not_owner);
+  let c = cost_of self in
+  Uctx.charge c.Cost.sync_fast;
+  match Waitq.pop s.waitq with
+  | Some next ->
+      (* direct handoff keeps the bracketing invariant simple *)
+      s.owner <- Some next;
+      Pool.make_ready next Wake_normal
+  | None -> s.owner <- None
+
+(* --- shared (between processes) -------------------------------------- *)
+
+let rec enter_shared st at self =
+  let c = cost_of self in
+  Uctx.charge c.Cost.sync_fast;
+  if not st.s_locked then begin
+    st.s_locked <- true;
+    st.s_owner_pid <- self.pool.pid;
+    st.s_owner_tid <- self.tid
+  end
+  else begin
+    (* kwait's expect closes the check-then-sleep race *)
+    (match Syncvar.wait at ~expect:(fun () -> st.s_locked) () with
+    | `Woken | `Timeout -> ());
+    enter_shared st at self
+  end
+
+let exit_shared st at self =
+  if not (st.s_locked && st.s_owner_pid = self.pool.pid
+          && st.s_owner_tid = self.tid)
+  then raise Not_owner;
+  let c = cost_of self in
+  Uctx.charge c.Cost.sync_fast;
+  st.s_locked <- false;
+  st.s_owner_pid <- 0;
+  st.s_owner_tid <- 0;
+  ignore (Syncvar.wake at ~count:1)
+
+(* --- public ----------------------------------------------------------- *)
+
+let enter m =
+  let self = Current.get () in
+  match m with
+  | Private s -> enter_private s self
+  | Shared { state; at } -> enter_shared state at self
+
+let exit m =
+  let self = Current.get () in
+  match m with
+  | Private s -> exit_private s self
+  | Shared { state; at } -> exit_shared state at self
+
+let try_enter m =
+  let self = Current.get () in
+  let c = cost_of self in
+  Uctx.charge c.Cost.sync_fast;
+  match m with
+  | Private s ->
+      if s.owner = None then begin
+        s.owner <- Some self;
+        true
+      end
+      else false
+  | Shared { state; _ } ->
+      if not state.s_locked then begin
+        state.s_locked <- true;
+        state.s_owner_pid <- self.pool.pid;
+        state.s_owner_tid <- self.tid;
+        true
+      end
+      else false
+
+let is_locked = function
+  | Private s -> s.owner <> None
+  | Shared { state; _ } -> state.s_locked
+
+let holding m =
+  let self = Current.get () in
+  match m with
+  | Private s -> (match s.owner with Some o -> o == self | None -> false)
+  | Shared { state; _ } ->
+      state.s_locked && state.s_owner_pid = self.pool.pid
+      && state.s_owner_tid = self.tid
+
+(* internal: used by Condvar to release while parking (no Current) *)
+let release_from m tcb =
+  match m with
+  | Private s -> exit_private s tcb
+  | Shared { state; at } -> exit_shared state at tcb

@@ -1,0 +1,48 @@
+(** Mutual exclusion locks ([mutex_enter] / [mutex_exit] /
+    [mutex_tryenter]).
+
+    Low overhead in space and time; strictly bracketing — releasing a
+    lock the calling thread does not hold raises.  The implementation
+    variant is chosen at initialization, as in the paper:
+
+    - [Sleep] (the default): contenders context-switch away at user
+      level.
+    - [Spin]: contenders burn CPU until the lock frees.  Only sensible
+      for bound threads on a multiprocessor.
+    - [Adaptive]: spin briefly while the owner is running on another
+      LWP, otherwise sleep — the classic SunOS adaptive lock.
+
+    A mutex created with {!create_shared} lives in a shared segment or
+    mapped file and synchronizes threads across processes; contended
+    operations then go through the kernel ([kwait]/[kwake]). *)
+
+type t
+
+type variant = Sleep | Spin | Adaptive
+
+val create : ?variant:variant -> unit -> t
+(** A process-private mutex ("statically allocated as zero": usable
+    immediately, default variant). *)
+
+val create_shared : Syncvar.place -> t
+(** The mutex at this shared placement — creating it if this is the
+    first process to look, finding the existing state otherwise. *)
+
+val enter : t -> unit
+val exit : t -> unit
+val try_enter : t -> bool
+
+val is_locked : t -> bool
+(** Racy snapshot; for tests and assertions. *)
+
+val holding : t -> bool
+(** Whether the calling thread owns the mutex. *)
+
+exception Not_owner
+(** Raised by {!exit} when the caller does not hold the lock (mutexes
+    are strictly bracketing). *)
+
+(**/**)
+
+val release_from : t -> Ttypes.tcb -> unit
+(** Internal (Condvar): release on behalf of [tcb] while it parks. *)

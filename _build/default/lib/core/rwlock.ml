@@ -1,0 +1,291 @@
+open Ttypes
+module Uctx = Sunos_kernel.Uctx
+module Univ = Sunos_sim.Univ
+module Cost = Sunos_hw.Cost_model
+
+type rw = Reader | Writer
+
+type priv = {
+  mutable readers : tcb list;  (* current reader holders *)
+  mutable writer : tcb option;
+  mutable upgrader : tcb option;  (* reader waiting to become writer *)
+  rq : Waitq.t;
+  wq : Waitq.t;
+}
+
+type shared_state = {
+  mutable s_readers : int;
+  mutable s_writer : bool;
+  mutable s_writer_pid : int;
+  mutable s_writer_tid : int;
+  mutable s_wwaiters : int;
+}
+
+type t =
+  | Private of priv
+  | Shared of { state : shared_state; at : Syncvar.place }
+
+let shared_key : shared_state Univ.key = Univ.key ()
+
+let create () =
+  Private
+    { readers = []; writer = None; upgrader = None; rq = Waitq.create ();
+      wq = Waitq.create () }
+
+let create_shared at =
+  let state =
+    Syncvar.locate at ~key:shared_key ~make:(fun () ->
+        { s_readers = 0; s_writer = false; s_writer_pid = 0; s_writer_tid = 0;
+          s_wwaiters = 0 })
+  in
+  Shared { state; at }
+
+(* Writer preference: new readers are admitted only when no writer holds
+   or waits and no upgrade is pending. *)
+let can_read s =
+  s.writer = None && s.upgrader = None && Waitq.is_empty s.wq
+
+let can_write s = s.writer = None && s.readers = [] && s.upgrader = None
+
+let rec block_on ~waitq ~can ~admit =
+  if can () then admit ()
+  else
+    match
+      Pool.suspend ~park:(fun tcb ->
+          tcb.tstate <- Tblocked;
+          tcb.cancel_wait <- Waitq.add waitq tcb)
+    with
+    | Wake_normal -> block_on ~waitq ~can ~admit
+    | Wake_signal _ ->
+        Pool.run_pending_tsigs ();
+        block_on ~waitq ~can ~admit
+
+(* Wake policy on release: one waiting writer first; with none, every
+   waiting reader (they re-validate on wake). *)
+let wake_next s =
+  match Waitq.pop s.wq with
+  | Some w -> Pool.make_ready w Wake_normal
+  | None ->
+      List.iter
+        (fun r -> Pool.make_ready r Wake_normal)
+        (Waitq.pop_all s.rq)
+
+let enter_priv s self kind =
+  match kind with
+  | Reader ->
+      block_on ~waitq:s.rq
+        ~can:(fun () -> can_read s)
+        ~admit:(fun () -> s.readers <- self :: s.readers)
+  | Writer ->
+      block_on ~waitq:s.wq
+        ~can:(fun () -> can_write s)
+        ~admit:(fun () -> s.writer <- Some self)
+
+let exit_priv s self =
+  let is_writer = match s.writer with Some w -> w == self | None -> false in
+  if is_writer then begin
+    s.writer <- None;
+    wake_next s
+  end
+  else if List.memq self s.readers then begin
+    s.readers <- List.filter (fun t -> t != self) s.readers;
+    match (s.readers, s.upgrader) with
+    | [ last ], Some up when last == up ->
+        (* the upgrader is the only reader left: promote it *)
+        Pool.make_ready up Wake_normal
+    | [], _ -> wake_next s
+    | _ :: _, _ -> ()
+  end
+  else failwith "Rwlock.exit: calling thread holds neither side"
+
+let downgrade_priv s self =
+  (match s.writer with
+  | Some w when w == self -> ()
+  | Some _ | None ->
+      failwith "Rwlock.downgrade: calling thread is not the writer");
+  s.writer <- None;
+  s.readers <- [ self ];
+  (* waiting writers remain waiting; with none, admit pending readers *)
+  if Waitq.is_empty s.wq then
+    List.iter (fun r -> Pool.make_ready r Wake_normal) (Waitq.pop_all s.rq)
+
+let try_upgrade_priv s self =
+  if not (List.memq self s.readers) then
+    failwith "Rwlock.try_upgrade: calling thread is not a reader";
+  if s.upgrader <> None || not (Waitq.is_empty s.wq) then false
+  else begin
+    match s.readers with
+    | [ only ] when only == self ->
+        s.readers <- [];
+        s.writer <- Some self;
+        true
+    | _ ->
+        (* wait for the other readers to drain; upgrade pends block new
+           readers (can_read) so this terminates *)
+        s.upgrader <- Some self;
+        let rec wait () =
+          let only_self =
+            match s.readers with [ only ] -> only == self | _ -> false
+          in
+          if only_self then begin
+            s.readers <- [];
+            s.upgrader <- None;
+            s.writer <- Some self
+          end
+          else
+            match
+              Pool.suspend ~park:(fun tcb -> tcb.tstate <- Tblocked)
+            with
+            | Wake_normal -> wait ()
+            | Wake_signal _ ->
+                Pool.run_pending_tsigs ();
+                wait ()
+        in
+        wait ();
+        true
+  end
+
+(* --- shared variant: loops over kwait with a broadcast wake ---------- *)
+
+let rec enter_shared st at self kind =
+  match kind with
+  | Reader ->
+      if (not st.s_writer) && st.s_wwaiters = 0 then
+        st.s_readers <- st.s_readers + 1
+      else begin
+        (match
+           Syncvar.wait at
+             ~expect:(fun () -> st.s_writer || st.s_wwaiters > 0)
+             ()
+         with
+        | `Woken | `Timeout -> ());
+        enter_shared st at self kind
+      end
+  | Writer ->
+      if (not st.s_writer) && st.s_readers = 0 then begin
+        st.s_writer <- true;
+        st.s_writer_pid <- self.pool.pid;
+        st.s_writer_tid <- self.tid
+      end
+      else begin
+        st.s_wwaiters <- st.s_wwaiters + 1;
+        (match
+           Syncvar.wait at
+             ~expect:(fun () -> st.s_writer || st.s_readers > 0)
+             ()
+         with
+        | `Woken | `Timeout -> ());
+        st.s_wwaiters <- st.s_wwaiters - 1;
+        enter_shared st at self kind
+      end
+
+let exit_shared st at self =
+  if st.s_writer && st.s_writer_pid = self.pool.pid
+     && st.s_writer_tid = self.tid
+  then begin
+    st.s_writer <- false;
+    st.s_writer_pid <- 0;
+    st.s_writer_tid <- 0;
+    ignore (Syncvar.wake_all at)
+  end
+  else if st.s_readers > 0 then begin
+    st.s_readers <- st.s_readers - 1;
+    if st.s_readers = 0 then ignore (Syncvar.wake_all at)
+  end
+  else failwith "Rwlock.exit: lock not held"
+
+(* --- public ---------------------------------------------------------- *)
+
+let charge_op () =
+  Uctx.charge (Current.pool ()).cost.Cost.sync_fast
+
+let enter l kind =
+  let self = Current.get () in
+  charge_op ();
+  Pool.thread_checkpoint ();
+  match l with
+  | Private s -> enter_priv s self kind
+  | Shared { state; at } -> enter_shared state at self kind
+
+let exit l =
+  let self = Current.get () in
+  charge_op ();
+  match l with
+  | Private s -> exit_priv s self
+  | Shared { state; at } -> exit_shared state at self
+
+let try_enter l kind =
+  let self = Current.get () in
+  charge_op ();
+  match l with
+  | Private s -> (
+      match kind with
+      | Reader ->
+          if can_read s then begin
+            s.readers <- self :: s.readers;
+            true
+          end
+          else false
+      | Writer ->
+          if can_write s then begin
+            s.writer <- Some self;
+            true
+          end
+          else false)
+  | Shared { state; _ } -> (
+      match kind with
+      | Reader ->
+          if (not state.s_writer) && state.s_wwaiters = 0 then begin
+            state.s_readers <- state.s_readers + 1;
+            true
+          end
+          else false
+      | Writer ->
+          if (not state.s_writer) && state.s_readers = 0 then begin
+            state.s_writer <- true;
+            state.s_writer_pid <- self.pool.pid;
+            state.s_writer_tid <- self.tid;
+            true
+          end
+          else false)
+
+let downgrade l =
+  let self = Current.get () in
+  charge_op ();
+  match l with
+  | Private s -> downgrade_priv s self
+  | Shared { state; at } ->
+      if not (state.s_writer && state.s_writer_pid = self.pool.pid
+              && state.s_writer_tid = self.tid)
+      then failwith "Rwlock.downgrade: calling thread is not the writer";
+      state.s_writer <- false;
+      state.s_writer_pid <- 0;
+      state.s_writer_tid <- 0;
+      state.s_readers <- 1;
+      if state.s_wwaiters = 0 then ignore (Syncvar.wake_all at)
+
+let try_upgrade l =
+  let self = Current.get () in
+  charge_op ();
+  match l with
+  | Private s -> try_upgrade_priv s self
+  | Shared { state; _ } ->
+      (* stricter than the private variant: succeeds only when we are
+         the sole reader right now (no cross-process upgrade waiting) *)
+      if state.s_readers = 1 && (not state.s_writer) && state.s_wwaiters = 0
+      then begin
+        state.s_readers <- 0;
+        state.s_writer <- true;
+        state.s_writer_pid <- self.pool.pid;
+        state.s_writer_tid <- self.tid;
+        true
+      end
+      else false
+
+let readers = function
+  | Private s -> List.length s.readers
+  | Shared { state; _ } -> state.s_readers
+
+let has_writer = function
+  | Private s -> s.writer <> None
+  | Shared { state; _ } -> state.s_writer

@@ -1,0 +1,33 @@
+(** Multiple-readers, single-writer locks ([rw_enter] / [rw_exit] /
+    [rw_tryenter] / [rw_downgrade] / [rw_tryupgrade]).
+
+    Many simultaneous readers or one writer; good for objects searched
+    far more often than changed.  Waiting writers block new readers
+    (writer preference), so readers cannot starve writers. *)
+
+type t
+
+type rw = Reader | Writer
+
+val create : unit -> t
+val create_shared : Syncvar.place -> t
+
+val enter : t -> rw -> unit
+val exit : t -> unit
+(** Releases whichever side the calling thread holds.  Raises
+    [Mutex.Not_owner]-style [Failure] if it holds neither. *)
+
+val try_enter : t -> rw -> bool
+
+val downgrade : t -> unit
+(** Atomically turn the calling thread's writer lock into a reader lock.
+    Waiting writers keep waiting; with no waiting writer, pending readers
+    are admitted. *)
+
+val try_upgrade : t -> bool
+(** Attempt to turn a reader lock into a writer lock atomically.  Fails
+    (returning [false], still holding the reader lock) when another
+    upgrade is in progress or writers are waiting. *)
+
+val readers : t -> int
+val has_writer : t -> bool

@@ -1,0 +1,26 @@
+(** Counting semaphores ([sema_p] / [sema_v] / [sema_tryp]).
+
+    Not as cheap as mutexes, but unbracketed: they carry state, so they
+    suit asynchronous event notification — a [v] never blocks and needs
+    no lock held, which is why the paper points to them for signal
+    handlers. *)
+
+type t
+
+val create : ?count:int -> unit -> t
+(** Default initial count: 0. *)
+
+val create_shared : ?count:int -> Syncvar.place -> t
+(** [count] applies only if this process creates the variable. *)
+
+val p : t -> unit
+(** Decrement; blocks while the count is zero. *)
+
+val v : t -> unit
+(** Increment; wakes a waiter if any.  Never blocks. *)
+
+val try_p : t -> bool
+(** Decrement if that needs no blocking. *)
+
+val count : t -> int
+(** Racy snapshot, for tests. *)

@@ -1,0 +1,33 @@
+(** Library-level signal routing (internal).
+
+    Implements the paper's thread-level signal model over the kernel's
+    LWP-level delivery: one shared vector of handlers, per-thread masks,
+    interrupts handled by exactly one eligible thread, thread_kill as a
+    trap delivered only to its target.  See the implementation header for
+    the routing rules. *)
+
+val route : Ttypes.pool -> Sunos_kernel.Signo.t -> unit
+(** The closure installed as the kernel disposition for every
+    application-handled signal: finds an eligible thread by per-thread
+    masks and runs or pends the handler there. *)
+
+val set_disposition :
+  Ttypes.pool ->
+  Sunos_kernel.Signo.t ->
+  Sunos_kernel.Sysdefs.disposition ->
+  Sunos_kernel.Sysdefs.disposition
+(** Install an application disposition; handlers are wrapped with
+    {!route}, default/ignore pass through to the kernel.  Returns the
+    previous library-level disposition. *)
+
+val mask_changed : Ttypes.tcb -> unit
+(** A thread's mask opened: claim newly-eligible pended signals. *)
+
+val thread_kill : Ttypes.tcb -> Sunos_kernel.Signo.t -> unit
+(** Trap-like: only the target thread handles it; wakes it from a
+    user-level block if eligible. *)
+
+val sigsend_all : Ttypes.pool -> Sunos_kernel.Signo.t -> unit
+(** sigsend(P_THREAD_ALL): the signal goes to every thread. *)
+
+val eligible : Sunos_kernel.Signo.t -> Ttypes.tcb -> bool

@@ -1,0 +1,29 @@
+module Shm = Sunos_hw.Shared_memory
+module Univ = Sunos_sim.Univ
+module Uctx = Sunos_kernel.Uctx
+
+type place = { seg : Shm.t; offset : int }
+
+let place seg ~offset = { seg; offset }
+let place_auto seg = { seg; offset = Shm.alloc_offset seg }
+
+let locate p ~key ~make =
+  match Shm.get p.seg ~offset:p.offset with
+  | Some u -> (
+      match Univ.unpack key u with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Syncvar.locate: offset %d of %s holds a different variable"
+               p.offset (Shm.name p.seg)))
+  | None ->
+      let v = make () in
+      Shm.put p.seg ~offset:p.offset (Univ.pack key v);
+      v
+
+let wait p ?timeout ~expect () =
+  Uctx.kwait ~seg:p.seg ~offset:p.offset ?timeout ~expect ()
+
+let wake p ~count = Uctx.kwake ~seg:p.seg ~offset:p.offset ~count
+let wake_all p = wake p ~count:max_int

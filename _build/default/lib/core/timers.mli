@@ -1,0 +1,32 @@
+(** Per-thread timers multiplexed over the per-process real-time timer.
+
+    The paper: "There is only one real-time interval timer per process…
+    Library routines may implement multiple per-thread timers using the
+    per-address space timer when that functionality is required."  This
+    module is that library routine: any number of concurrent thread
+    sleeps and timeout callbacks share the single kernel timer, re-armed
+    for the earliest pending deadline, with SIGALRM routed through the
+    thread-level signal machinery.
+
+    The point of {!sleep} over {!Sunos_kernel.Uctx.sleep}: it blocks the
+    {e thread} at user level instead of pinning an LWP in a kernel sleep,
+    so a thousand sleeping threads cost one timer and zero LWPs. *)
+
+val sleep : Sunos_sim.Time.span -> unit
+(** Block the calling thread for the duration.  Other threads (and the
+    LWP) keep running.  Restarts after signal handlers (SA_RESTART
+    style). *)
+
+type id
+
+val after : Sunos_sim.Time.span -> (unit -> unit) -> id
+(** Run a callback after the duration.  The callback executes in the
+    context of whichever thread handles the timer signal, so it should be
+    short and must not block indefinitely; to do real work, wake a thread
+    (e.g. [Semaphore.v]). *)
+
+val cancel : id -> bool
+(** [true] if the callback had not fired yet. *)
+
+val pending : unit -> int
+(** Armed per-thread timers in this process (sleeps + callbacks). *)

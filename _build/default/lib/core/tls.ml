@@ -1,0 +1,37 @@
+module Univ = Sunos_sim.Univ
+module Cost = Sunos_hw.Cost_model
+
+type 'a key = { index : int; default : 'a; ukey : 'a Univ.key }
+
+let next_index = ref 0
+
+let key ~default =
+  let index = !next_index in
+  incr next_index;
+  { index; default; ukey = Univ.key () }
+
+let slot tcb index =
+  let open Ttypes in
+  if index >= Array.length tcb.tls then begin
+    let bigger = Array.make (max (index + 1) (2 * Array.length tcb.tls)) None in
+    Array.blit tcb.tls 0 bigger 0 (Array.length tcb.tls);
+    tcb.tls <- bigger
+  end;
+  tcb.tls
+
+let get k =
+  let tcb = Current.get () in
+  Sunos_kernel.Uctx.charge tcb.Ttypes.pool.Ttypes.cost.Cost.tls_access;
+  let tls = slot tcb k.index in
+  match tls.(k.index) with
+  | None -> k.default
+  | Some u -> (
+      match Univ.unpack k.ukey u with Some v -> v | None -> k.default)
+
+let set k v =
+  let tcb = Current.get () in
+  Sunos_kernel.Uctx.charge tcb.Ttypes.pool.Ttypes.cost.Cost.tls_access;
+  let tls = slot tcb k.index in
+  tls.(k.index) <- Some (Univ.pack k.ukey v)
+
+let errno = key ~default:0

@@ -1,0 +1,21 @@
+(** Thread-local storage.
+
+    The paper's [#pragma unshared] declares statically-allocated, zeroed
+    per-thread variables (the canonical example is [errno]); the OCaml
+    rendering is a typed key created at program scope with its "zero"
+    value.  Each thread sees its own copy; a thread that never wrote a
+    key reads the default.  Access is deliberately priced ([tls_access])
+    — the paper warns it is "potentially expensive". *)
+
+type 'a key
+
+val key : default:'a -> 'a key
+(** Create at program scope (the analogue of link-time allocation). *)
+
+val get : 'a key -> 'a
+(** This thread's value (the default if never set here). *)
+
+val set : 'a key -> 'a -> unit
+
+val errno : int key
+(** The classic example, pre-declared: per-thread errno, initially 0. *)

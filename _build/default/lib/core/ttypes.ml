@@ -1,0 +1,108 @@
+(* Core types of the threads library: the thread control block, the
+   per-process pool that multiplexes threads over LWPs, and the effect
+   through which a thread gives its LWP back to the scheduler.
+
+   Layering reminder: everything in this library is *user code* in the
+   simulation — it runs inside LWP fibers and talks to the kernel only
+   through Sunos_kernel.Uctx.  The one nesting trick: each thread body is
+   itself a fiber whose handler (in Pool) catches [Suspend]; kernel
+   effects (Charge/Sys) pass through to the kernel handler, which is
+   exactly how a thread stays bound to its LWP for the duration of a
+   system call. *)
+
+module Sigset = Sunos_kernel.Sigset
+module Signo = Sunos_kernel.Signo
+module Sysdefs = Sunos_kernel.Sysdefs
+module Cost = Sunos_hw.Cost_model
+
+type tstate =
+  | Trunnable
+  | Trunning
+  | Tblocked
+  | Tstopped
+  | Tzombie
+
+type wake_reason =
+  | Wake_normal
+  | Wake_signal of Signo.t
+      (* woken to run a signal handler; blocking primitives re-block (or
+         report a spurious wakeup) after the handler runs *)
+
+type stack_kind =
+  | Stack_default  (* library-managed, cached *)
+  | Stack_caller of int  (* programmer-supplied storage of given size *)
+
+type tstep =
+  | T_done
+  | T_raised of exn
+  | T_suspended of (tcb -> unit) * (wake_reason, tstep) Effect.Deep.continuation
+
+and tcb = {
+  tid : int;
+  pool : pool;
+  mutable tstate : tstate;
+  mutable prio : int;
+  mutable tsigmask : Sigset.t;
+  mutable kont : (wake_reason, tstep) Effect.Deep.continuation option;
+  mutable wake_reason : wake_reason;
+  mutable entry : (unit -> unit) option;  (* consumed at first dispatch *)
+  bound : bool;
+  mutable bound_lwp : int;  (* kernel lwpid when [bound] *)
+  wait_flag : bool;  (* THREAD_WAIT: joinable; tid not reused until waited *)
+  stack_kind : stack_kind;
+  mutable tls : Sunos_sim.Univ.t option array;
+  mutable waiter : tcb option;  (* the (single) thread_wait()er *)
+  mutable cancel_wait : unit -> unit;
+      (* deregister from whatever wait queue holds us; installed by the
+         park function, invoked before an out-of-band wakeup (signal) *)
+  pending_tsigs : Signo.t Queue.t;  (* thread-directed, not yet handled *)
+  mutable stop_requested : bool;
+  mutable exited : bool;
+}
+
+and pool = {
+  pid : int;
+  cost : Cost.t;
+      (* the library's own path-length calibration; see DESIGN.md *)
+  runq : tcb Queue.t array;  (* per-priority FIFO, index = priority *)
+  mutable runq_count : int;
+  threads : (int, tcb) Hashtbl.t;
+  mutable next_tid : int;
+  mutable live_threads : int;
+  mutable n_pool_lwps : int;  (* LWPs serving unbound threads *)
+  mutable idle_lwps : int list;  (* parked pool LWPs (lwpids) *)
+  mutable concurrency_target : int;  (* thread_setconcurrency; 0 = auto *)
+  mutable shrink_lwps : int;  (* LWPs asked to exit when they next idle *)
+  mutable stack_cached : int;  (* default stacks in the cache *)
+  mutable stack_hits : int;
+  mutable stack_misses : int;
+  handlers : Sysdefs.disposition array;
+      (* library mirror of the process signal vector: the thread-level
+         dispositions that Sigdeliver routes by thread masks *)
+  mutable proc_pending_tsigs : Signo.t list;
+      (* process-directed signals every current thread masks *)
+  mutable any_waiters : tcb list;  (* thread_wait(NULL) sleepers *)
+  mutable auto_grow : bool;  (* create an LWP on SIGWAITING *)
+  mutable timer_slot : Sunos_sim.Univ.t option;
+      (* per-pool state of the Timers module (per-thread timers
+         multiplexed over the process real timer) *)
+  (* statistics, exposed through Libthread.stats *)
+  mutable ctr_creates_unbound : int;
+  mutable ctr_creates_bound : int;
+  mutable ctr_switches : int;  (* user-level thread context switches *)
+  mutable ctr_lwp_grown : int;  (* LWPs added by SIGWAITING growth *)
+}
+
+type _ Effect.t +=
+  | Suspend : (tcb -> unit) -> wake_reason Effect.t
+        (* give up the LWP: the scheduler saves our continuation in the
+           TCB, runs the argument (which parks the TCB somewhere), and
+           picks another thread.  The resume value says why we woke. *)
+
+exception Thread_exit_exn
+(* raised by Thread.exit; translated to a clean T_done by the scheduler *)
+
+let max_prio = 63
+let default_prio = 31
+
+let live_runnable pool = pool.runq_count > 0

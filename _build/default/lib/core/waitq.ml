@@ -1,0 +1,30 @@
+type entry = { e_tcb : Ttypes.tcb; e_alive : bool ref }
+
+type t = entry Queue.t
+
+let create () = Queue.create ()
+
+let add q tcb =
+  let alive = ref true in
+  Queue.add { e_tcb = tcb; e_alive = alive } q;
+  fun () -> alive := false
+
+let rec pop q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some e ->
+      if !(e.e_alive) then begin
+        e.e_alive := false;
+        Some e.e_tcb
+      end
+      else pop q
+
+let pop_all q =
+  let rec go acc =
+    match pop q with None -> List.rev acc | Some t -> go (t :: acc)
+  in
+  go []
+
+let is_empty q = Queue.fold (fun acc e -> acc && not !(e.e_alive)) true q
+
+let length q = Queue.fold (fun acc e -> if !(e.e_alive) then acc + 1 else acc) 0 q

@@ -1,0 +1,22 @@
+(** Thread wait queues (turnstiles) for the user-level sync primitives.
+
+    Entries are lazily removable: signal delivery may pull a thread out
+    of the middle of the queue, so [add] returns a cancel closure and
+    [pop] skips cancelled entries.  Ordering is FIFO; the paper
+    guarantees no particular wakeup order. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Ttypes.tcb -> unit -> unit
+(** Returns the cancel closure; idempotent. *)
+
+val pop : t -> Ttypes.tcb option
+(** Next live entry (its cancel closure becomes a no-op). *)
+
+val pop_all : t -> Ttypes.tcb list
+val is_empty : t -> bool
+(** True when no live entry remains. *)
+
+val length : t -> int

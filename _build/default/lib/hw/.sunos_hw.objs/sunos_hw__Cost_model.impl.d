@@ -1,0 +1,1 @@
+lib/hw/cost_model.ml: Float Int64 Sunos_sim

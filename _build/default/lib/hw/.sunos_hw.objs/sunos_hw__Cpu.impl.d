@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Format Int64 Sunos_sim

@@ -1,0 +1,1 @@
+lib/hw/devices.ml: Int64 List Queue Sunos_sim

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cost_model Cpu Devices Format Sunos_sim

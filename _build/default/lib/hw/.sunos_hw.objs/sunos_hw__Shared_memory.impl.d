@@ -1,0 +1,1 @@
+lib/hw/shared_memory.ml: Array Hashtbl Sunos_sim

@@ -1,0 +1,1 @@
+lib/hw/shared_memory.mli: Sunos_sim

@@ -1,0 +1,71 @@
+(** Simulated I/O devices with service-time queues.
+
+    Each device accepts requests and invokes a completion callback from
+    the event queue after its modeled service time.  The kernel layer
+    turns completions into LWP wakeups (interrupt handling cost is charged
+    there). *)
+
+module Disk : sig
+  (** Single-spindle disk: FIFO, one request in service at a time. *)
+
+  type t
+
+  val create :
+    eventq:Sunos_sim.Eventq.t ->
+    access_time:Sunos_sim.Time.span ->
+    ?jitter:Sunos_sim.Rng.t ->
+    unit ->
+    t
+  (** With [jitter], service time is exponentially distributed around
+      [access_time]; without, it is exactly [access_time]. *)
+
+  val submit : t -> bytes_:int -> on_complete:(unit -> unit) -> unit
+  (** [bytes_] adds transfer time at 1 MiB/s (a 1991 SCSI disk). *)
+
+  val queue_length : t -> int
+  val completed : t -> int
+end
+
+module Net : sig
+  (** Network interface: unlimited concurrency, per-message latency. *)
+
+  type t
+
+  val create :
+    eventq:Sunos_sim.Eventq.t ->
+    rtt:Sunos_sim.Time.span ->
+    ?jitter:Sunos_sim.Rng.t ->
+    unit ->
+    t
+
+  val send : t -> bytes_:int -> on_complete:(unit -> unit) -> unit
+  (** Completion fires after one-way latency (rtt/2) + transfer time. *)
+
+  val request_response : t -> bytes_:int -> on_complete:(unit -> unit) -> unit
+  (** Completion fires after a full round trip. *)
+
+  val in_flight : t -> int
+  val completed : t -> int
+end
+
+module Tty : sig
+  (** Terminal: an input queue fed by the workload.  The kernel registers
+      a listener that fires when input arrives (interrupt). *)
+
+  type t
+
+  val create : eventq:Sunos_sim.Eventq.t -> latency:Sunos_sim.Time.span -> t
+
+  val type_input : t -> string -> unit
+  (** Enqueue a line of input; the data-ready listener fires after the
+      device latency. *)
+
+  val read_input : t -> string option
+  (** Dequeue buffered input, if any. *)
+
+  val has_input : t -> bool
+
+  val on_data_ready : t -> (unit -> unit) -> unit
+  (** One-shot: fires once when input is (or becomes) available, then is
+      dropped; re-register to keep listening. *)
+end

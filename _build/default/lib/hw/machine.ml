@@ -1,0 +1,37 @@
+module Sim = Sunos_sim
+
+type t = {
+  eventq : Sim.Eventq.t;
+  cpus : Cpu.t array;
+  disk : Devices.Disk.t;
+  net : Devices.Net.t;
+  tty : Devices.Tty.t;
+  cost : Cost_model.t;
+  trace : Sim.Tracebuf.t;
+  rng : Sim.Rng.t;
+}
+
+let create ?(cpus = 1) ?(cost = Cost_model.default) ?(seed = 1L)
+    ?trace_capacity () =
+  if cpus <= 0 then invalid_arg "Machine.create: cpus";
+  let eventq = Sim.Eventq.create () in
+  {
+    eventq;
+    cpus = Array.init cpus (fun id -> Cpu.create ~id);
+    disk = Devices.Disk.create ~eventq ~access_time:cost.Cost_model.disk_access ();
+    net = Devices.Net.create ~eventq ~rtt:cost.Cost_model.net_rtt ();
+    tty = Devices.Tty.create ~eventq ~latency:cost.Cost_model.tty_latency;
+    cost;
+    trace = Sim.Tracebuf.create ?capacity:trace_capacity ();
+    rng = Sim.Rng.create ~seed;
+  }
+
+let now t = Sim.Eventq.now t.eventq
+let ncpus t = Array.length t.cpus
+
+let trace t ~tag fmt =
+  Format.kasprintf
+    (fun msg -> Sim.Tracebuf.emit t.trace ~time:(now t) ~tag msg)
+    fmt
+
+let run ?until ?max_events t = Sim.Eventq.run ?until ?max_events t.eventq

@@ -1,0 +1,67 @@
+let page_size = 4096
+
+type t = {
+  id : int;
+  name : string;
+  size : int;
+  cells : (int, Sunos_sim.Univ.t) Hashtbl.t;
+  mutable resident : bool array;
+  mutable next_offset : int;
+  mutable map_count : int;
+}
+
+let next_id = ref 0
+
+let create ~name ~size =
+  if size <= 0 then invalid_arg "Shared_memory.create: size";
+  let pages = (size + page_size - 1) / page_size in
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    size;
+    cells = Hashtbl.create 16;
+    resident = Array.make pages false;
+    next_offset = 0;
+    map_count = 0;
+  }
+
+let id t = t.id
+let name t = t.name
+let size t = t.size
+let page_count t = Array.length t.resident
+
+let check_offset t offset =
+  if offset < 0 || offset >= t.size then
+    invalid_arg "Shared_memory: offset out of bounds"
+
+let put t ~offset u =
+  check_offset t offset;
+  if Hashtbl.mem t.cells offset then
+    invalid_arg "Shared_memory.put: offset occupied";
+  Hashtbl.replace t.cells offset u
+
+let get t ~offset =
+  check_offset t offset;
+  Hashtbl.find_opt t.cells offset
+
+let remove t ~offset = Hashtbl.remove t.cells offset
+
+let alloc_offset t =
+  let rec fresh () =
+    let o = t.next_offset in
+    t.next_offset <- t.next_offset + 64;
+    if t.next_offset > t.size then
+      invalid_arg "Shared_memory.alloc_offset: segment full";
+    if Hashtbl.mem t.cells o then fresh () else o
+  in
+  fresh ()
+
+let resident t ~page = t.resident.(page)
+let make_resident t ~page = t.resident.(page) <- true
+let evict t ~page = t.resident.(page) <- false
+let evict_all t = Array.fill t.resident 0 (Array.length t.resident) false
+let page_of_offset ~offset = offset / page_size
+let map_count t = t.map_count
+let incr_map_count t = t.map_count <- t.map_count + 1
+let decr_map_count t = t.map_count <- max 0 (t.map_count - 1)

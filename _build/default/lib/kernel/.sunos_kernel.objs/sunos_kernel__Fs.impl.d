@@ -1,0 +1,1 @@
+lib/kernel/fs.ml: Bytes Errno Hashtbl List String Sunos_hw

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Kernel_impl Ktypes Signal_impl Sunos_hw Sunos_sim Syscall_impl

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Fs Ktypes Sunos_hw Sunos_sim

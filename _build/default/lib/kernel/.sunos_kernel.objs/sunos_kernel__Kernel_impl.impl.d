@@ -1,0 +1,1 @@
+lib/kernel/kernel_impl.ml: Array Effect Errno Fs Hashtbl Int64 Ktypes List Pipe Printexc Queue Signo Sigset Sunos_hw Sunos_sim Sysdefs Uctx

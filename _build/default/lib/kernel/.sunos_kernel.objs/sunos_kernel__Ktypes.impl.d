@@ -1,0 +1,1 @@
+lib/kernel/ktypes.ml: Effect Fs Hashtbl List Netchan Pipe Queue Signo Sigset Sunos_hw Sunos_sim Sysdefs Uctx

@@ -1,0 +1,1 @@
+lib/kernel/pipe.ml: Buffer List String

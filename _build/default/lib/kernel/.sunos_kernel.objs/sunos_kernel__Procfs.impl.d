@@ -1,0 +1,1 @@
+lib/kernel/procfs.ml: Format Hashtbl Int64 Kernel_impl Ktypes List Option Printf Sunos_sim

@@ -1,0 +1,1 @@
+lib/kernel/signal_impl.ml: Array Kernel_impl Ktypes List Queue Signo Sigset Sunos_hw Sysdefs

@@ -1,0 +1,1 @@
+lib/kernel/sigset.ml: Format Int64 List Signo

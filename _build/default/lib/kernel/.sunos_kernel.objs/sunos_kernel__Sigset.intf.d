@@ -1,0 +1,1 @@
+lib/kernel/sigset.mli: Format Signo

@@ -1,0 +1,1 @@
+lib/kernel/syscall_impl.ml: Array Errno Fs Hashtbl Int64 Kernel_impl Ktypes List Netchan Pipe Queue Signal_impl Signo Sigset String Sunos_hw Sunos_sim Sysdefs

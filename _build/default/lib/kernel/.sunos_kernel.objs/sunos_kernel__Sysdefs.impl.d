@@ -1,0 +1,1 @@
+lib/kernel/sysdefs.ml: Errno Format List Netchan Signo Sigset Sunos_hw Sunos_sim

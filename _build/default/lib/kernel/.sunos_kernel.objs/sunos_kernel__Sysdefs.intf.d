@@ -1,0 +1,1 @@
+lib/kernel/sysdefs.mli: Errno Format Netchan Signo Sigset Sunos_hw Sunos_sim

@@ -1,0 +1,1 @@
+lib/kernel/uctx.ml: Effect Errno Format List Printexc Sunos_sim Sysdefs

@@ -1,0 +1,1 @@
+lib/kernel/uctx.mli: Effect Netchan Printexc Signo Sigset Sunos_hw Sunos_sim Sysdefs

@@ -1,0 +1,41 @@
+type t =
+  | EINTR
+  | EBADF
+  | ENOENT
+  | EEXIST
+  | EINVAL
+  | EAGAIN
+  | ECHILD
+  | ESRCH
+  | EPIPE
+  | EDEADLK
+  | ENOMEM
+  | EPERM
+  | ENOSYS
+  | ETIMEDOUT
+
+let to_string = function
+  | EINTR -> "EINTR"
+  | EBADF -> "EBADF"
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EINVAL -> "EINVAL"
+  | EAGAIN -> "EAGAIN"
+  | ECHILD -> "ECHILD"
+  | ESRCH -> "ESRCH"
+  | EPIPE -> "EPIPE"
+  | EDEADLK -> "EDEADLK"
+  | ENOMEM -> "ENOMEM"
+  | EPERM -> "EPERM"
+  | ENOSYS -> "ENOSYS"
+  | ETIMEDOUT -> "ETIMEDOUT"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+exception Unix_error of t * string
+
+let () =
+  Printexc.register_printer (function
+    | Unix_error (e, call) ->
+        Some (Printf.sprintf "Unix_error(%s, %s)" (to_string e) call)
+    | _ -> None)

@@ -1,0 +1,23 @@
+(** UNIX error numbers (the subset the simulated syscalls can return). *)
+
+type t =
+  | EINTR  (** interrupted system call *)
+  | EBADF  (** bad file descriptor *)
+  | ENOENT  (** no such file or directory *)
+  | EEXIST  (** file exists *)
+  | EINVAL  (** invalid argument *)
+  | EAGAIN  (** resource temporarily unavailable *)
+  | ECHILD  (** no child processes *)
+  | ESRCH  (** no such process / LWP / thread *)
+  | EPIPE  (** broken pipe *)
+  | EDEADLK  (** deadlock would occur *)
+  | ENOMEM  (** out of memory *)
+  | EPERM  (** operation not permitted *)
+  | ENOSYS  (** not implemented *)
+  | ETIMEDOUT  (** timed out *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+exception Unix_error of t * string
+(** Raised by the user-side syscall wrappers; the string names the call. *)

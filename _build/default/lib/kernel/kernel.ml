@@ -1,0 +1,46 @@
+module Machine = Sunos_hw.Machine
+module Counter = Sunos_sim.Stats.Counter
+
+type t = Ktypes.kernel
+
+let boot_on machine =
+  let k = Kernel_impl.create ~machine in
+  Signal_impl.install k;
+  Syscall_impl.install k;
+  k
+
+let boot ?cpus ?cost ?seed ?trace_capacity () =
+  boot_on (Machine.create ?cpus ?cost ?seed ?trace_capacity ())
+
+let machine (k : t) = k.Ktypes.machine
+let fs (k : t) = k.Ktypes.fs
+
+let spawn k ~name ~main =
+  let proc = Kernel_impl.spawn_process k ~name ~main in
+  proc.Ktypes.pid
+
+let run ?until ?max_events k = Machine.run ?until ?max_events (machine k)
+let now k = Machine.now (machine k)
+let find_proc = Kernel_impl.find_proc
+
+let proc_alive k pid =
+  match find_proc k pid with
+  | Some p -> p.Ktypes.pstate = Ktypes.Palive
+  | None -> false
+
+let exit_status k pid =
+  match find_proc k pid with
+  | Some p -> (
+      match p.Ktypes.pstate with
+      | Ktypes.Pzombie | Ktypes.Preaped -> Some p.Ktypes.exit_status
+      | Ktypes.Palive -> None)
+  | None -> None
+
+let tty_input k line = Sunos_hw.Devices.Tty.type_input (machine k).Machine.tty line
+let trace_records k = Sunos_sim.Tracebuf.records (machine k).Machine.trace
+let set_tracing k b = Sunos_sim.Tracebuf.set_enabled (machine k).Machine.trace b
+let syscall_count (k : t) = Counter.value k.Ktypes.ctr_syscalls
+let dispatch_count (k : t) = Counter.value k.Ktypes.ctr_dispatches
+let preemption_count (k : t) = Counter.value k.Ktypes.ctr_preemptions
+let sigwaiting_count (k : t) = Counter.value k.Ktypes.ctr_sigwaiting
+let lwp_create_count (k : t) = Counter.value k.Ktypes.ctr_lwp_creates

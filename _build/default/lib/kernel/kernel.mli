@@ -1,0 +1,56 @@
+(** The kernel: public entry points.
+
+    [boot] wires the mechanism (dispatcher, sleep/wake), the signal policy
+    and the syscall table together over a machine; [spawn] starts a
+    process whose main function runs as user code (see {!Uctx});
+    [run] drives the event queue.
+
+    The representation is transparent ([= Ktypes.kernel]) so that
+    introspection ({!Procfs}), tests and benchmarks can examine kernel
+    state directly; simulated user code must go through {!Uctx} only. *)
+
+type t = Ktypes.kernel
+
+val boot :
+  ?cpus:int ->
+  ?cost:Sunos_hw.Cost_model.t ->
+  ?seed:int64 ->
+  ?trace_capacity:int ->
+  unit ->
+  t
+(** Build a machine and boot a kernel on it. *)
+
+val boot_on : Sunos_hw.Machine.t -> t
+(** Boot on an existing machine. *)
+
+val machine : t -> Sunos_hw.Machine.t
+val fs : t -> Fs.t
+
+val spawn : t -> name:string -> main:(unit -> unit) -> int
+(** Create a process with one LWP executing [main]; returns its pid.
+    [main] runs as simulated user code: it may call anything in
+    {!Uctx}. *)
+
+val run : ?until:Sunos_sim.Time.t -> ?max_events:int -> t -> unit
+(** Drive the simulation until the event queue drains (all processes
+    finished or deadlocked asleep), the horizon, or the event budget. *)
+
+val now : t -> Sunos_sim.Time.t
+
+val find_proc : t -> int -> Ktypes.proc option
+val proc_alive : t -> int -> bool
+
+val exit_status : t -> int -> int option
+(** Exit status of a finished (zombie or reaped) process. *)
+
+val tty_input : t -> string -> unit
+(** Type a line on the machine's terminal. *)
+
+val trace_records : t -> Sunos_sim.Tracebuf.record list
+val set_tracing : t -> bool -> unit
+
+val syscall_count : t -> int
+val dispatch_count : t -> int
+val preemption_count : t -> int
+val sigwaiting_count : t -> int
+val lwp_create_count : t -> int

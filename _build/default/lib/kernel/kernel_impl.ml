@@ -1,0 +1,771 @@
+(* Kernel mechanism: dispatching LWP fibers onto CPUs, charging simulated
+   time, sleeping/waking, and process/LWP lifecycle.  Policy (signals) and
+   the syscall table are layered on top through the kernel's service
+   vector (hook_* / syscall_exec fields), installed by Boot.
+
+   Execution model invariants:
+   - an LWP's fiber runs only while its [lstate] is [Lrunning cpu];
+   - all state transitions happen inside event callbacks, so they are
+     totally ordered by simulated time;
+   - a [busy] interval models the CPU being held; completion callbacks
+     check the LWP is still running on that CPU (kills and stops may have
+     intervened) before acting. *)
+
+open Ktypes
+module Time = Sunos_sim.Time
+module Eventq = Sunos_sim.Eventq
+module Counter = Sunos_sim.Stats.Counter
+module Machine = Sunos_hw.Machine
+module Cpu = Sunos_hw.Cpu
+module Cost = Sunos_hw.Cost_model
+
+let cost k = k.machine.Machine.cost
+let now k = Machine.now k.machine
+let eventq k = k.machine.Machine.eventq
+let schedule k span f = ignore (Eventq.after (eventq k) span f)
+let trace k tag fmt = Machine.trace k.machine ~tag fmt
+
+let create ~machine =
+  {
+    machine;
+    fs = Fs.create ();
+    procs = [];
+    next_pid = 1;
+    queues = Array.init (max_global_prio + 1) (fun _ -> Queue.create ());
+    gangs = Hashtbl.create 8;
+    futex = Hashtbl.create 64;
+    ctr_syscalls = Counter.create "syscalls";
+    ctr_dispatches = Counter.create "dispatches";
+    ctr_preemptions = Counter.create "preemptions";
+    ctr_sigwaiting = Counter.create "sigwaiting";
+    ctr_lwp_creates = Counter.create "lwp_creates";
+    hook_post_proc = (fun _ _ -> ());
+    hook_post_lwp = (fun _ _ -> ());
+    syscall_exec = (fun _ _ -> failwith "no syscall table installed");
+  }
+
+let sig_flag lwp = not (Queue.is_empty lwp.deliverable)
+
+let is_running_on lwp cpu =
+  match lwp.lstate with Lrunning c -> c = Cpu.id cpu | _ -> false
+
+let cpu_of k lwp =
+  match lwp.lstate with
+  | Lrunning c -> k.machine.Machine.cpus.(c)
+  | _ -> invalid_arg "cpu_of: LWP not running"
+
+let release_cpu k cpu = Cpu.set_occupant cpu ~now:(now k) None
+
+(* ------------------------------------------------------------------ *)
+(* Run queues                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue k lwp =
+  lwp.runq_gen <- lwp.runq_gen + 1;
+  match lwp.cls with
+  | Sc_gang _ -> ()  (* gang members are placed by gang_place *)
+  | Sc_timeshare _ | Sc_realtime _ ->
+      Queue.add (lwp, lwp.runq_gen) k.queues.(global_prio lwp)
+
+(* Pop the best eligible LWP for [cpu], skipping stale entries and
+   entries bound to other CPUs (which are preserved in order). *)
+let pick k cpu =
+  let rec at_prio prio =
+    if prio < 0 then None
+    else
+      let q = k.queues.(prio) in
+      let skipped = ref [] in
+      let rec scan () =
+        match Queue.take_opt q with
+        | None ->
+            (* restore the skipped (bound-elsewhere) entries in order *)
+            let rest = List.of_seq (Queue.to_seq q) in
+            Queue.clear q;
+            List.iter (fun e -> Queue.add e q) (List.rev !skipped);
+            List.iter (fun e -> Queue.add e q) rest;
+            at_prio (prio - 1)
+        | Some ((lwp, gen) as e) ->
+            if
+              lwp.runq_gen <> gen || lwp.lstate <> Lrunnable
+              || global_prio lwp <> prio
+            then scan ()
+            else begin
+              match lwp.bound_cpu with
+              | Some c when c <> Cpu.id cpu ->
+                  skipped := e :: !skipped;
+                  scan ()
+              | _ ->
+                  let rest = List.of_seq (Queue.to_seq q) in
+                  Queue.clear q;
+                  List.iter (fun x -> Queue.add x q) (List.rev !skipped);
+                  List.iter (fun x -> Queue.add x q) rest;
+                  Some lwp
+            end
+      in
+      scan ()
+  in
+  at_prio max_global_prio
+
+let runnable_exists_for k cpu =
+  let found = ref false in
+  Array.iteri
+    (fun _prio q ->
+      Queue.iter
+        (fun (lwp, gen) ->
+          if
+            (not !found) && lwp.runq_gen = gen && lwp.lstate = Lrunnable
+            &&
+            match lwp.bound_cpu with
+            | Some c -> c = Cpu.id cpu
+            | None -> true
+          then found := true)
+        q)
+    k.queues;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch / step machine                                         *)
+(* ------------------------------------------------------------------ *)
+
+let quantum_for k lwp =
+  match lwp.cls with
+  | Sc_realtime _ -> Time.s 3600  (* effectively until it blocks *)
+  | Sc_timeshare _ | Sc_gang _ -> (cost k).Cost.quantum
+
+let rec kick k =
+  gang_place k;
+  Array.iter
+    (fun cpu -> if Cpu.occupant cpu = None then try_dispatch k cpu)
+    k.machine.Machine.cpus
+
+and try_dispatch k cpu =
+  if Cpu.occupant cpu = None then
+    match pick k cpu with
+    | None -> Cpu.set_need_resched cpu false
+    | Some lwp -> place k cpu lwp
+
+and place k cpu lwp =
+  Cpu.set_occupant cpu ~now:(now k) (Some lwp.lid);
+  Cpu.set_need_resched cpu false;
+  lwp.lstate <- Lrunning (Cpu.id cpu);
+  lwp.quantum_left <- quantum_for k lwp;
+  Counter.incr k.ctr_dispatches;
+  trace k "dispatch" "cpu%d <- pid%d/lwp%d" (Cpu.id cpu) lwp.proc.pid lwp.lid;
+  (* Going through the dispatcher costs a kernel context switch. *)
+  schedule k (cost k).Cost.kernel_dispatch (fun () ->
+      if is_running_on lwp cpu then resume k cpu lwp)
+
+(* Best-effort gang scheduling: the RUNNABLE members of a gang are placed
+   all-or-nothing, so a barrier-released burst starts simultaneously on
+   its CPUs; members that are blocked or already running are exempt
+   (space sharing), which keeps gangs deadlock-free when members sleep at
+   different times.  See DESIGN.md. *)
+and gang_place k =
+  let idle_cpus () =
+    Array.to_list k.machine.Machine.cpus
+    |> List.filter (fun c -> Cpu.occupant c = None)
+  in
+  Hashtbl.iter
+    (fun _gid members ->
+      let ready = List.filter (fun l -> l.lstate = Lrunnable) !members in
+      let n = List.length ready in
+      let idle = idle_cpus () in
+      if n > 0 && n <= List.length idle then begin
+        let rec go cpus lwps =
+          match (cpus, lwps) with
+          | cpu :: cpus', lwp :: lwps' ->
+              place k cpu lwp;
+              go cpus' lwps'
+          | _, [] -> ()
+          | [], _ :: _ -> assert false
+        in
+        go idle ready
+      end)
+    k.gangs
+
+and resume k cpu lwp =
+  if not (lwp_alive lwp) then begin
+    release_cpu k cpu;
+    kick k
+  end
+  else begin
+    lwp.on_resume ();
+    match lwp.pending with
+    | P_start f ->
+        lwp.pending <- P_dead;
+        step k cpu lwp (Uctx.run_fiber f)
+    | P_charge (remaining, kont) ->
+        if Time.(remaining > 0L) then charge_slice k cpu lwp remaining kont
+        else begin
+          lwp.pending <- P_dead;
+          step k cpu lwp (Effect.Deep.continue kont (sig_flag lwp))
+        end
+    | P_sysret (kont, ret) -> deliver_sysret k cpu lwp kont ret
+    | P_syswait _ | P_dead ->
+        (* nothing to run: stale dispatch *)
+        release_cpu k cpu;
+        kick k
+  end
+
+and step k cpu lwp (s : Uctx.step) =
+  match s with
+  | Uctx.Step_done -> lwp_exit_internal k lwp
+  | Uctx.Step_raised (Uctx.Process_killed, _) ->
+      (* teardown path: the fiber acknowledged its death *)
+      release_cpu k cpu;
+      kick k
+  | Uctx.Step_raised (e, bt) ->
+      trace k "panic" "pid%d/lwp%d uncaught exception: %s" lwp.proc.pid
+        lwp.lid (Printexc.to_string e);
+      ignore bt;
+      proc_exit k lwp.proc ~status:139
+  | Uctx.Step_charge (span, kont) -> charge_slice k cpu lwp span kont
+  | Uctx.Step_sys (req, kont) ->
+      lwp.in_kernel <- true;
+      lwp.pending <- P_syswait kont;
+      Counter.incr k.ctr_syscalls;
+      let c = cost k in
+      busy k cpu lwp
+        (Int64.add c.Cost.trap_entry c.Cost.syscall_fixed)
+        (fun () -> k.syscall_exec lwp req)
+
+(* Hold the CPU for [span], accounting it to the LWP, then run [fin].
+   If the LWP lost the CPU meanwhile (kill, stop at a boundary), the
+   completion is dropped — whoever took the CPU away owns the next move. *)
+and busy k cpu lwp span fin =
+  schedule k span (fun () ->
+      if is_running_on lwp cpu then begin
+        account k lwp span;
+        (* other LWPs may have run during this interval: restore this
+           LWP's register context (current-thread pointer) before any of
+           its code continues *)
+        lwp.on_resume ();
+        fin ()
+      end)
+
+and charge_slice k cpu lwp span kont =
+  let misplaced_now =
+    match lwp.bound_cpu with Some c -> c <> Cpu.id cpu | None -> false
+  in
+  if misplaced_now then begin
+    (* newly bound elsewhere: migrate before burning any time here *)
+    lwp.pending <- P_charge (span, kont);
+    lwp.lstate <- Lrunnable;
+    enqueue k lwp;
+    release_cpu k cpu;
+    kick k
+  end
+  else
+  let slice = Time.min span lwp.quantum_left in
+  let slice = if Time.(slice <= 0L) then span else slice in
+  busy k cpu lwp slice (fun () ->
+      let remaining = Time.diff span slice in
+      lwp.quantum_left <- Time.diff lwp.quantum_left slice;
+      if lwp.proc.stopped then begin
+        (* stop takes effect at the charge boundary *)
+        lwp.pending <- P_charge (remaining, kont);
+        lwp.lstate <- Lstopped;
+        release_cpu k cpu;
+        try_dispatch k cpu
+      end
+      else
+        let quantum_expired = Time.(lwp.quantum_left <= 0L) in
+        let misplaced =
+          match lwp.bound_cpu with
+          | Some c -> c <> Cpu.id cpu
+          | None -> false
+        in
+        let should_preempt =
+          misplaced
+          || (Cpu.need_resched cpu || quantum_expired)
+             && runnable_exists_for k cpu
+        in
+        if should_preempt then begin
+          Counter.incr k.ctr_preemptions;
+          if quantum_expired then ts_penalty lwp;
+          trace k "preempt" "cpu%d drops pid%d/lwp%d" (Cpu.id cpu)
+            lwp.proc.pid lwp.lid;
+          lwp.pending <- P_charge (remaining, kont);
+          lwp.lstate <- Lrunnable;
+          enqueue k lwp;
+          release_cpu k cpu;
+          kick k
+        end
+        else begin
+          if quantum_expired then lwp.quantum_left <- quantum_for k lwp;
+          if Time.(remaining > 0L) then charge_slice k cpu lwp remaining kont
+          else begin
+            lwp.pending <- P_dead;
+            step k cpu lwp (Effect.Deep.continue kont (sig_flag lwp))
+          end
+        end)
+
+and deliver_sysret k cpu lwp kont ret =
+  busy k cpu lwp (cost k).Cost.trap_exit (fun () ->
+      lwp.in_kernel <- false;
+      lwp.pending <- P_dead;
+      step k cpu lwp (Effect.Deep.continue kont ret))
+
+(* CPU-time accounting: drives virtual/profiling interval timers, the
+   profil(2) tick counter and the CPU resource limit. *)
+and account k lwp span =
+  if lwp.in_kernel then lwp.stime <- Int64.add lwp.stime span
+  else begin
+    lwp.utime <- Int64.add lwp.utime span;
+    match lwp.vtimer_left with
+    | Some left ->
+        let left = Time.diff left span in
+        if Time.(left <= 0L) then begin
+          lwp.vtimer_left <- None;
+          k.hook_post_lwp lwp Signo.sigvtalrm
+        end
+        else lwp.vtimer_left <- Some left
+    | None -> ()
+  end;
+  (match lwp.ptimer_left with
+  | Some left ->
+      let left = Time.diff left span in
+      if Time.(left <= 0L) then begin
+        lwp.ptimer_left <- None;
+        k.hook_post_lwp lwp Signo.sigprof
+      end
+      else lwp.ptimer_left <- Some left
+  | None -> ());
+  if lwp.prof_on && not lwp.in_kernel then
+    lwp.prof_ticks <-
+      lwp.prof_ticks + Int64.to_int (Int64.div span (cost k).Cost.clock_tick);
+  match lwp.proc.cpu_limit with
+  | Some limit ->
+      let total =
+        List.fold_left
+          (fun acc l -> Int64.add acc (Int64.add l.utime l.stime))
+          (Int64.add lwp.proc.dead_utime lwp.proc.dead_stime)
+          lwp.proc.lwps
+      in
+      if Time.(total > limit) then begin
+        lwp.proc.cpu_limit <- None;
+        k.hook_post_lwp lwp Signo.sigxcpu
+      end
+  | None -> ()
+
+and ts_penalty lwp =
+  match lwp.cls with
+  | Sc_timeshare ts -> ts.ts_pri <- max 0 (ts.ts_pri - 10)
+  | Sc_realtime _ | Sc_gang _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Runnable / preemption                                               *)
+(* ------------------------------------------------------------------ *)
+
+and make_runnable k lwp =
+  if lwp.proc.stopped then lwp.lstate <- Lstopped
+  else begin
+    lwp.lstate <- Lrunnable;
+    enqueue k lwp;
+    preempt_check k lwp;
+    kick k
+  end
+
+and preempt_check k lwp =
+  (* If every CPU is busy and some CPU runs lower-priority work, ask it
+     to reschedule at its next charge boundary. *)
+  let prio = global_prio lwp in
+  let best : (Cpu.t * int) option ref = ref None in
+  Array.iter
+    (fun cpu ->
+      match Cpu.occupant cpu with
+      | None -> ()
+      | Some lid -> (
+          match find_lwp_by_lid k lwp.proc lid with
+          | Some running when global_prio running < prio -> (
+              let eligible =
+                match lwp.bound_cpu with
+                | Some c -> c = Cpu.id cpu
+                | None -> true
+              in
+              if eligible then
+                match !best with
+                | Some (_, p) when p <= global_prio running -> ()
+                | _ -> best := Some (cpu, global_prio running))
+          | _ -> ()))
+    k.machine.Machine.cpus;
+  match !best with
+  | Some (cpu, _) -> Cpu.set_need_resched cpu true
+  | None -> ()
+
+(* Occupants may belong to any process; search the whole table. *)
+and find_lwp_by_lid k _hint lid =
+  let rec in_procs = function
+    | [] -> None
+    | p :: rest -> (
+        match List.find_opt (fun l -> l.lid = lid) p.lwps with
+        | Some l -> Some l
+        | None -> in_procs rest)
+  in
+  in_procs k.procs
+
+(* ------------------------------------------------------------------ *)
+(* Sleep and wakeup                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Block the LWP that is currently executing a system call.  The caller
+   has already registered the means of wakeup; [cancel] deregisters it.
+   Detects the paper's SIGWAITING condition: every live LWP of the
+   process asleep in an indefinite wait. *)
+and block k lwp ~wchan ~interruptible ~indefinite ~cancel =
+  let cpu = cpu_of k lwp in
+  lwp.sleep <-
+    Some
+      {
+        sl_interruptible = interruptible;
+        sl_indefinite = indefinite;
+        sl_cancel = cancel;
+        sl_timeout = None;
+      };
+  lwp.wchan <- wchan;
+  lwp.lstate <- Lsleeping;
+  trace k "sleep" "pid%d/lwp%d on %s%s" lwp.proc.pid lwp.lid wchan
+    (if indefinite then " (indefinite)" else "");
+  release_cpu k cpu;
+  if interruptible && sig_flag lwp then
+    (* a signal became deliverable while we were running: an
+       interruptible sleep must not begin — fail it with EINTR right
+       away, as a real kernel checks pending signals on sleep entry *)
+    interrupt_sleep k lwp;
+  if lwp.proc.upcall_on_block && wchan <> "lwp_park" then
+    (* Scheduler-activations mode: an application thread just lost its
+       virtual processor to a kernel wait.  Give the library a context
+       to keep running threads on: unpark an idle LWP if one exists,
+       otherwise create a fresh activation running the library's
+       registered entry.  (lwp_park itself is the library going idle,
+       not an application block, so it never triggers an upcall.) *)
+    upcall_block k lwp.proc
+  else if indefinite then check_sigwaiting k lwp.proc;
+  try_dispatch k cpu;
+  kick k
+
+and upcall_block k proc =
+  Counter.incr k.ctr_sigwaiting;
+  let parked =
+    List.find_opt
+      (fun l -> l.parked && l.lstate = Lsleeping)
+      proc.lwps
+  in
+  match parked with
+  | Some l -> (
+      match l.sleep with
+      | Some sl ->
+          sl.sl_cancel ();
+          wake k l Sysdefs.R_ok
+      | None -> ())
+  | None ->
+      (* an LWP that is runnable (or mid-way into a park) will look at
+         the run queue soon anyway — creating another activation would
+         only inflate the pool *)
+      let spare_exists =
+        List.exists
+          (fun l ->
+            match l.lstate with
+            | Lrunnable -> true
+            | Lrunning _ -> l.parked (* unwinding from a cancelled park *)
+            | Lsleeping | Lstopped | Lzombie -> false)
+          proc.lwps
+      in
+      if not spare_exists then
+        match proc.activation_entry with
+        | Some entry ->
+            ignore
+              (spawn_lwp k proc ~entry ~cls:(Sc_timeshare { ts_pri = 29 }))
+        | None -> ()
+
+and check_sigwaiting k proc =
+  let live = live_lwps proc in
+  let all_indefinite =
+    live <> []
+    && List.for_all
+         (fun l ->
+           match (l.lstate, l.sleep) with
+           | Lsleeping, Some sl -> sl.sl_indefinite
+           | _ -> false)
+         live
+  in
+  if all_indefinite && proc.sigwaiting_armed then begin
+    proc.sigwaiting_armed <- false;
+    Counter.incr k.ctr_sigwaiting;
+    trace k "sigwaiting" "pid%d: all %d LWPs in indefinite waits" proc.pid
+      (List.length live);
+    k.hook_post_proc proc Signo.sigwaiting
+  end
+
+(* Arm a wakeup-with-[ret] after [span] unless the sleep ends first. *)
+and set_sleep_timeout k lwp span ret =
+  match lwp.sleep with
+  | None -> ()
+  | Some sl ->
+      let h =
+        Eventq.after (eventq k) span (fun () ->
+            match lwp.sleep with
+            | Some sl' when sl' == sl ->
+                sl.sl_cancel ();
+                wake k lwp ret
+            | _ -> ())
+      in
+      sl.sl_timeout <- Some h
+
+and wake k lwp ret =
+  match lwp.sleep with
+  | None -> ()
+  | Some sl ->
+      (match sl.sl_timeout with
+      | Some h -> Eventq.cancel h
+      | None -> ());
+      lwp.sleep <- None;
+      lwp.wchan <- "";
+      (match lwp.pending with
+      | P_syswait kont -> lwp.pending <- P_sysret (kont, ret)
+      | _ -> assert false);
+      (* a real wakeup re-arms the SIGWAITING edge trigger; the EINTR
+         that SIGWAITING delivery itself causes must not, or a process
+         whose handler cannot make progress would be stormed *)
+      (match ret with
+      | Sysdefs.R_err Errno.EINTR -> ()
+      | _ -> lwp.proc.sigwaiting_armed <- true);
+      (* Wakeup boost keeps interactive timeshare LWPs responsive. *)
+      (match lwp.cls with
+      | Sc_timeshare ts -> ts.ts_pri <- min 59 (ts.ts_pri + 12)
+      | Sc_realtime _ | Sc_gang _ -> ());
+      if lwp.lstate = Lsleeping then make_runnable k lwp
+
+and interrupt_sleep k lwp =
+  match lwp.sleep with
+  | Some sl when sl.sl_interruptible ->
+      sl.sl_cancel ();
+      wake k lwp (Sysdefs.R_err Errno.EINTR)
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Syscall completion                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Finish a syscall for an LWP that kept its CPU: charge the operation
+   cost, then return to user mode (or get preempted holding the ready
+   result). *)
+and complete k lwp ?(op_cost = 0L) ret =
+  match lwp.lstate with
+  | Lrunnable | Lsleeping | Lstopped | Lzombie ->
+      () (* the syscall killed / blocked the caller; nothing to deliver *)
+  | Lrunning _ ->
+  let cpu = cpu_of k lwp in
+  busy k cpu lwp op_cost (fun () ->
+      match lwp.pending with
+      | P_syswait kont ->
+          if lwp.proc.stopped then begin
+            lwp.pending <- P_sysret (kont, ret);
+            lwp.lstate <- Lstopped;
+            release_cpu k cpu;
+            try_dispatch k cpu
+          end
+          else if Cpu.need_resched cpu && runnable_exists_for k cpu then begin
+            Counter.incr k.ctr_preemptions;
+            lwp.pending <- P_sysret (kont, ret);
+            lwp.lstate <- Lrunnable;
+            enqueue k lwp;
+            release_cpu k cpu;
+            try_dispatch k cpu
+          end
+          else deliver_sysret k cpu lwp kont ret
+      | P_dead | P_start _ | P_charge _ | P_sysret _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and next_pid k =
+  let pid = k.next_pid in
+  k.next_pid <- k.next_pid + 1;
+  pid
+
+and make_proc k ~name ~parent =
+  let proc =
+    {
+      pid = next_pid k;
+      pname = name;
+      parent;
+      children = [];
+      lwps = [];
+      next_lid = 1;
+      fdtab = Hashtbl.create 8;
+      next_fd = 3;
+      cwd = "/";
+      uid = 0;
+      gid = 0;
+      handlers = Array.make (Signo.max_sig + 1) Sysdefs.Sig_default;
+      proc_sig_pending = [];
+      pstate = Palive;
+      waitpid_waiters = [];
+      rtimer = None;
+      mappings = [];
+      cpu_limit = None;
+      dead_utime = 0L;
+      dead_stime = 0L;
+      minflt = 0;
+      majflt = 0;
+      stopped = false;
+      exit_status = 0;
+      upcall_on_block = false;
+      activation_entry = None;
+      sigwaiting_armed = true;
+    }
+  in
+  (match parent with Some p -> p.children <- proc :: p.children | None -> ());
+  k.procs <- proc :: k.procs;
+  proc
+
+and make_lwp k proc ~entry ~cls =
+  let lid = proc.next_lid in
+  proc.next_lid <- proc.next_lid + 1;
+  Counter.incr k.ctr_lwp_creates;
+  proc.sigwaiting_armed <- true (* new capacity: re-arm the edge *);
+  let lwp =
+    {
+      lid;
+      proc;
+      lstate = Lrunnable;
+      cls;
+      prio_user = 0;
+      bound_cpu = None;
+      sigmask = Sigset.empty;
+      altstack = false;
+      deliverable = Queue.create ();
+      lwp_sig_pending = [];
+      pending = P_start entry;
+      on_resume = ignore;
+      wchan = "";
+      sleep = None;
+      park_token = false;
+      parked = false;
+      utime = 0L;
+      stime = 0L;
+      in_kernel = false;
+      quantum_left = 0L;
+      vtimer_left = None;
+      ptimer_left = None;
+      prof_on = false;
+      prof_ticks = 0;
+      runq_gen = 0;
+    }
+  in
+  proc.lwps <- proc.lwps @ [ lwp ];
+  (match cls with
+  | Sc_gang gid ->
+      let members =
+        match Hashtbl.find_opt k.gangs gid with
+        | Some m -> m
+        | None ->
+            let m = ref [] in
+            Hashtbl.replace k.gangs gid m;
+            m
+      in
+      members := !members @ [ lwp ]
+  | Sc_timeshare _ | Sc_realtime _ -> ());
+  lwp
+
+and spawn_process k ~name ~main =
+  let proc = make_proc k ~name ~parent:None in
+  let lwp = make_lwp k proc ~entry:main ~cls:(Sc_timeshare { ts_pri = 29 }) in
+  trace k "spawn" "pid%d (%s) created with lwp%d" proc.pid name lwp.lid;
+  make_runnable k lwp;
+  proc
+
+and spawn_lwp k proc ~entry ~cls =
+  let lwp = make_lwp k proc ~entry ~cls in
+  make_runnable k lwp;
+  lwp
+
+and gang_remove k lwp =
+  match lwp.cls with
+  | Sc_gang gid -> (
+      match Hashtbl.find_opt k.gangs gid with
+      | Some members -> members := List.filter (fun l -> l != lwp) !members
+      | None -> ())
+  | Sc_timeshare _ | Sc_realtime _ -> ()
+
+and lwp_exit_internal k lwp =
+  let cpu = try Some (cpu_of k lwp) with Invalid_argument _ -> None in
+  lwp.proc.dead_utime <- Int64.add lwp.proc.dead_utime lwp.utime;
+  lwp.proc.dead_stime <- Int64.add lwp.proc.dead_stime lwp.stime;
+  lwp.lstate <- Lzombie;
+  lwp.pending <- P_dead;
+  gang_remove k lwp;
+  lwp.proc.lwps <- List.filter (fun l -> l != lwp) lwp.proc.lwps;
+  trace k "lwp_exit" "pid%d/lwp%d" lwp.proc.pid lwp.lid;
+  (match cpu with
+  | Some c -> release_cpu k c
+  | None -> ());
+  if live_lwps lwp.proc = [] && lwp.proc.pstate = Palive then
+    proc_exit k lwp.proc ~status:lwp.proc.exit_status
+  else begin
+    (* the remaining LWPs may now all be in indefinite waits *)
+    if lwp.proc.pstate = Palive then check_sigwaiting k lwp.proc;
+    kick k
+  end
+
+(* Tear one LWP down (exec path and proc_exit share this). *)
+and destroy_lwp k l =
+  (match l.lstate with
+  | Lrunning c -> release_cpu k k.machine.Machine.cpus.(c)
+  | Lsleeping -> (
+      (match l.sleep with
+      | Some sl -> (
+          sl.sl_cancel ();
+          match sl.sl_timeout with
+          | Some h -> Eventq.cancel h
+          | None -> ())
+      | None -> ());
+      l.sleep <- None)
+  | Lrunnable | Lstopped | Lzombie -> ());
+  l.proc.dead_utime <- Int64.add l.proc.dead_utime l.utime;
+  l.proc.dead_stime <- Int64.add l.proc.dead_stime l.stime;
+  gang_remove k l;
+  l.lstate <- Lzombie;
+  l.pending <- P_dead
+
+and close_fdobj fdobj =
+  match fdobj with
+  | Fd_pipe_r p -> Pipe.close_read p
+  | Fd_pipe_w p -> Pipe.close_write p
+  | Fd_file _ | Fd_net _ | Fd_tty -> ()
+
+and proc_exit k proc ~status =
+  if proc.pstate = Palive then begin
+    proc.exit_status <- status;
+    proc.pstate <- Pzombie;
+    proc.stopped <- false;
+    trace k "exit" "pid%d (%s) status=%d" proc.pid proc.pname status;
+    (* Tear down every LWP.  Sleeping ones are deregistered from their
+       wait structures; running ones lose their CPUs; queued ones become
+       stale entries. *)
+    List.iter (fun l -> destroy_lwp k l) proc.lwps;
+    proc.lwps <- [];
+    Hashtbl.iter (fun _ fdobj -> close_fdobj fdobj) proc.fdtab;
+    Hashtbl.reset proc.fdtab;
+    List.iter Sunos_hw.Shared_memory.decr_map_count proc.mappings;
+    proc.mappings <- [];
+    (match proc.rtimer with
+    | Some h -> Eventq.cancel h
+    | None -> ());
+    proc.rtimer <- None;
+    List.iter (fun child -> child.parent <- None) proc.children;
+    (match proc.parent with
+    | Some pp when pp.pstate = Palive ->
+        k.hook_post_proc pp Signo.sigchld;
+        (* wake the parent's waitpid sleepers; they rescan and reap *)
+        let waiters = pp.waitpid_waiters in
+        List.iter (fun l -> interrupt_sleep k l) waiters
+    | Some _ | None -> proc.pstate <- Preaped);
+    kick k
+  end
+
+let find_proc k pid = List.find_opt (fun p -> p.pid = pid) k.procs
+
+let find_lwp proc lid = List.find_opt (fun l -> l.lid = lid) proc.lwps

@@ -1,0 +1,49 @@
+type message = { payload : string; reply_to : string -> unit }
+
+type t = {
+  name : string;
+  inbox : message Queue.t;
+  replies : (string -> unit) Queue.t;
+      (* reply functions of taken-but-unanswered messages, FIFO *)
+  mutable waiters : (unit -> unit) list;
+  mutable closed : bool;
+}
+
+let create ~name =
+  {
+    name;
+    inbox = Queue.create ();
+    replies = Queue.create ();
+    waiters = [];
+    closed = false;
+  }
+let name t = t.name
+
+let fire t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun f -> f ()) ws
+
+let inject t m =
+  if not t.closed then begin
+    Queue.add m t.inbox;
+    fire t
+  end
+
+let take t =
+  match Queue.take_opt t.inbox with
+  | None -> None
+  | Some m ->
+      Queue.add m.reply_to t.replies;
+      Some m
+
+let pop_reply t = Queue.take_opt t.replies
+let readable t = (not (Queue.is_empty t.inbox)) || t.closed
+let pending t = Queue.length t.inbox
+let on_readable t f = if readable t then f () else t.waiters <- t.waiters @ [ f ]
+
+let close t =
+  t.closed <- true;
+  fire t
+
+let closed t = t.closed

@@ -1,0 +1,32 @@
+(** A network endpoint: a message queue fed from outside the process.
+
+    Workload generators inject request messages (optionally through the
+    simulated network device for latency); server code reads them through
+    the fd layer ([read] returns one whole message) and replies with
+    [reply], which the workload observes via its completion callback.
+    This stands in for the socket layer the 1991 network-server
+    motivation needs, without modeling TCP. *)
+
+type t
+
+type message = { payload : string; reply_to : string -> unit }
+
+val create : name:string -> t
+val name : t -> string
+
+val inject : t -> message -> unit
+(** Called by workloads (typically from an event-queue callback). *)
+
+val take : t -> message option
+(** Also queues the message's [reply_to] for FIFO correlation with a
+    later {!pop_reply} (responses are pipelined in take order). *)
+
+val pop_reply : t -> (string -> unit) option
+val readable : t -> bool
+val pending : t -> int
+
+val on_readable : t -> (unit -> unit) -> unit
+(** One-shot readiness callback, as in {!Pipe}. *)
+
+val close : t -> unit
+val closed : t -> bool

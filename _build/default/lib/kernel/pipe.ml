@@ -1,0 +1,71 @@
+type t = {
+  capacity : int;
+  buf : Buffer.t;
+  mutable read_closed : bool;
+  mutable write_closed : bool;
+  mutable read_waiters : (unit -> unit) list;
+  mutable write_waiters : (unit -> unit) list;
+}
+
+let default_capacity = 5120
+
+let create ?(capacity = default_capacity) () =
+  {
+    capacity;
+    buf = Buffer.create 256;
+    read_closed = false;
+    write_closed = false;
+    read_waiters = [];
+    write_waiters = [];
+  }
+
+let buffered t = Buffer.length t.buf
+let readable t = buffered t > 0 || t.write_closed
+let writable t = buffered t < t.capacity || t.read_closed
+let read_closed t = t.read_closed
+let write_closed t = t.write_closed
+
+let fire_read_waiters t =
+  let ws = t.read_waiters in
+  t.read_waiters <- [];
+  List.iter (fun f -> f ()) ws
+
+let fire_write_waiters t =
+  let ws = t.write_waiters in
+  t.write_waiters <- [];
+  List.iter (fun f -> f ()) ws
+
+let read t ~len =
+  let n = min len (buffered t) in
+  if n = 0 then ""
+  else begin
+    let all = Buffer.contents t.buf in
+    let out = String.sub all 0 n in
+    Buffer.clear t.buf;
+    Buffer.add_substring t.buf all n (String.length all - n);
+    fire_write_waiters t;
+    out
+  end
+
+let write t s =
+  let room = t.capacity - buffered t in
+  let n = min room (String.length s) in
+  if n > 0 then begin
+    Buffer.add_substring t.buf s 0 n;
+    fire_read_waiters t
+  end;
+  n
+
+let close_read t =
+  t.read_closed <- true;
+  fire_write_waiters t
+
+let close_write t =
+  t.write_closed <- true;
+  fire_read_waiters t
+
+let on_readable t f =
+  if readable t then f () else t.read_waiters <- t.read_waiters @ [ f ]
+
+let on_writable t f =
+  if writable t then f () else t.write_waiters <- t.write_waiters @ [ f ]

@@ -1,0 +1,102 @@
+open Ktypes
+
+type lwp_info = {
+  li_lwpid : int;
+  li_state : string;
+  li_class : string;
+  li_prio : int;
+  li_wchan : string;
+  li_utime : Sunos_sim.Time.span;
+  li_stime : Sunos_sim.Time.span;
+  li_bound_cpu : int option;
+}
+
+type proc_info = {
+  pi_pid : int;
+  pi_name : string;
+  pi_state : string;
+  pi_parent : int option;
+  pi_nlwps : int;
+  pi_lwps : lwp_info list;
+  pi_utime : Sunos_sim.Time.span;
+  pi_stime : Sunos_sim.Time.span;
+  pi_minflt : int;
+  pi_majflt : int;
+  pi_nfds : int;
+}
+
+let lwp_state_string l =
+  match l.lstate with
+  | Lrunning c -> Printf.sprintf "running(cpu%d)" c
+  | Lrunnable -> "runnable"
+  | Lsleeping -> "sleeping"
+  | Lstopped -> "stopped"
+  | Lzombie -> "zombie"
+
+let class_string l =
+  match l.cls with
+  | Sc_timeshare _ -> "TS"
+  | Sc_realtime _ -> "RT"
+  | Sc_gang g -> Printf.sprintf "GANG%d" g
+
+let lwp_info l =
+  {
+    li_lwpid = l.lid;
+    li_state = lwp_state_string l;
+    li_class = class_string l;
+    li_prio = global_prio l;
+    li_wchan = l.wchan;
+    li_utime = l.utime;
+    li_stime = l.stime;
+    li_bound_cpu = l.bound_cpu;
+  }
+
+let proc_info p =
+  let utime, stime =
+    List.fold_left
+      (fun (u, s) l -> (Int64.add u l.utime, Int64.add s l.stime))
+      (p.dead_utime, p.dead_stime)
+      p.lwps
+  in
+  {
+    pi_pid = p.pid;
+    pi_name = p.pname;
+    pi_state =
+      (match p.pstate with
+      | Palive -> if p.stopped then "stopped" else "alive"
+      | Pzombie -> "zombie"
+      | Preaped -> "reaped");
+    pi_parent = Option.map (fun pp -> pp.pid) p.parent;
+    pi_nlwps = List.length (live_lwps p);
+    pi_lwps = List.map lwp_info p.lwps;
+    pi_utime = utime;
+    pi_stime = stime;
+    pi_minflt = p.minflt;
+    pi_majflt = p.majflt;
+    pi_nfds = Hashtbl.length p.fdtab;
+  }
+
+let snapshot k =
+  k.procs |> List.map proc_info
+  |> List.sort (fun a b -> compare a.pi_pid b.pi_pid)
+
+let proc k pid =
+  match Kernel_impl.find_proc k pid with
+  | Some p -> Some (proc_info p)
+  | None -> None
+
+let pp_proc ppf pi =
+  Format.fprintf ppf "pid %d (%s) %s nlwps=%d utime=%a stime=%a flt=%d/%d@."
+    pi.pi_pid pi.pi_name pi.pi_state pi.pi_nlwps Sunos_sim.Time.pp pi.pi_utime
+    Sunos_sim.Time.pp pi.pi_stime pi.pi_minflt pi.pi_majflt;
+  List.iter
+    (fun li ->
+      Format.fprintf ppf "  lwp %d %-16s %-6s prio=%-3d %s%s@." li.li_lwpid
+        li.li_state li.li_class li.li_prio
+        (if li.li_wchan = "" then "" else "wchan=" ^ li.li_wchan)
+        (match li.li_bound_cpu with
+        | Some c -> Printf.sprintf " bound=cpu%d" c
+        | None -> ""))
+    pi.pi_lwps
+
+let pp ppf k = List.iter (pp_proc ppf) (snapshot k)

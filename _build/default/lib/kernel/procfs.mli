@@ -1,0 +1,40 @@
+(** /proc: introspection snapshots of kernel process state.
+
+    The paper extends /proc so debuggers can control LWPs while the
+    threads library handles user threads; here the same split appears as
+    kernel-level snapshots (this module, LWPs only — the kernel cannot
+    see user threads) that the threads library complements with its own
+    thread tables. *)
+
+type lwp_info = {
+  li_lwpid : int;
+  li_state : string;  (** "running(cpuN)" | "runnable" | "sleeping" | ... *)
+  li_class : string;  (** "TS" | "RT" | "GANG" *)
+  li_prio : int;  (** global dispatch priority *)
+  li_wchan : string;  (** wait channel when sleeping *)
+  li_utime : Sunos_sim.Time.span;
+  li_stime : Sunos_sim.Time.span;
+  li_bound_cpu : int option;
+}
+
+type proc_info = {
+  pi_pid : int;
+  pi_name : string;
+  pi_state : string;  (** "alive" | "stopped" | "zombie" | "reaped" *)
+  pi_parent : int option;
+  pi_nlwps : int;
+  pi_lwps : lwp_info list;
+  pi_utime : Sunos_sim.Time.span;
+  pi_stime : Sunos_sim.Time.span;
+  pi_minflt : int;
+  pi_majflt : int;
+  pi_nfds : int;
+}
+
+val snapshot : Ktypes.kernel -> proc_info list
+(** All processes, ordered by pid. *)
+
+val proc : Ktypes.kernel -> int -> proc_info option
+val pp_proc : Format.formatter -> proc_info -> unit
+val pp : Format.formatter -> Ktypes.kernel -> unit
+(** A ps(1)-style table of every process and LWP. *)

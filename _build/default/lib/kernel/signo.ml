@@ -1,0 +1,85 @@
+type t = int
+
+let sighup = 1
+let sigint = 2
+let sigquit = 3
+let sigill = 4
+let sigtrap = 5
+let sigabrt = 6
+let sigfpe = 8
+let sigkill = 9
+let sigbus = 10
+let sigsegv = 11
+let sigsys = 12
+let sigpipe = 13
+let sigalrm = 14
+let sigterm = 15
+let sigusr1 = 16
+let sigusr2 = 17
+let sigchld = 18
+let sigstop = 23
+let sigtstp = 24
+let sigcont = 25
+let sigvtalrm = 28
+let sigprof = 29
+let sigio = 22
+let sigxcpu = 30
+let sigwaiting = 32
+let max_sig = 32
+
+let all =
+  [
+    sighup; sigint; sigquit; sigill; sigtrap; sigabrt; sigfpe; sigkill;
+    sigbus; sigsegv; sigsys; sigpipe; sigalrm; sigterm; sigusr1; sigusr2;
+    sigchld; sigio; sigstop; sigtstp; sigcont; sigvtalrm; sigprof; sigxcpu;
+    sigwaiting;
+  ]
+
+type kind = Trap | Interrupt
+
+let kind s =
+  if s = sigill || s = sigtrap || s = sigfpe || s = sigbus || s = sigsegv
+     || s = sigsys || s = sigpipe
+  then Trap
+  else Interrupt
+
+type default_action = Act_exit | Act_core | Act_ignore | Act_stop | Act_continue
+
+let default_action s =
+  if s = sigchld || s = sigwaiting || s = sigio then Act_ignore
+  else if s = sigstop || s = sigtstp then Act_stop
+  else if s = sigcont then Act_continue
+  else if s = sigill || s = sigtrap || s = sigabrt || s = sigfpe || s = sigbus
+          || s = sigsegv || s = sigsys || s = sigquit
+  then Act_core
+  else Act_exit
+
+let name s =
+  if s = sighup then "SIGHUP"
+  else if s = sigint then "SIGINT"
+  else if s = sigquit then "SIGQUIT"
+  else if s = sigill then "SIGILL"
+  else if s = sigtrap then "SIGTRAP"
+  else if s = sigabrt then "SIGABRT"
+  else if s = sigfpe then "SIGFPE"
+  else if s = sigkill then "SIGKILL"
+  else if s = sigbus then "SIGBUS"
+  else if s = sigsegv then "SIGSEGV"
+  else if s = sigsys then "SIGSYS"
+  else if s = sigpipe then "SIGPIPE"
+  else if s = sigalrm then "SIGALRM"
+  else if s = sigterm then "SIGTERM"
+  else if s = sigusr1 then "SIGUSR1"
+  else if s = sigusr2 then "SIGUSR2"
+  else if s = sigchld then "SIGCHLD"
+  else if s = sigio then "SIGIO"
+  else if s = sigstop then "SIGSTOP"
+  else if s = sigtstp then "SIGTSTP"
+  else if s = sigcont then "SIGCONT"
+  else if s = sigvtalrm then "SIGVTALRM"
+  else if s = sigprof then "SIGPROF"
+  else if s = sigxcpu then "SIGXCPU"
+  else if s = sigwaiting then "SIGWAITING"
+  else "SIG#" ^ string_of_int s
+
+let pp ppf s = Format.pp_print_string ppf (name s)

@@ -1,0 +1,51 @@
+(** Signal numbers and their architecture-level classification.
+
+    The paper divides signals into {e traps} — caused synchronously by the
+    operation of a thread and handled only by that thread — and
+    {e interrupts} — caused asynchronously from outside the process and
+    handled by any one thread that has the signal enabled in its mask.
+    [SIGWAITING] is the paper's new signal, sent when all LWPs of a
+    process are blocked in indefinite waits. *)
+
+type t = int
+
+val sighup : t
+val sigint : t
+val sigquit : t
+val sigill : t
+val sigtrap : t
+val sigabrt : t
+val sigfpe : t
+val sigkill : t
+val sigbus : t
+val sigsegv : t
+val sigsys : t
+val sigpipe : t
+val sigalrm : t
+val sigterm : t
+val sigusr1 : t
+val sigusr2 : t
+val sigchld : t
+val sigstop : t
+val sigtstp : t
+val sigcont : t
+val sigvtalrm : t
+val sigprof : t
+val sigio : t
+val sigxcpu : t
+val sigwaiting : t
+
+val max_sig : t
+val all : t list
+
+type kind = Trap | Interrupt
+
+val kind : t -> kind
+(** Per the paper: SIGILL, SIGTRAP, SIGFPE, SIGBUS, SIGSEGV, SIGSYS (and
+    SIGPIPE) are traps; everything else is an interrupt. *)
+
+type default_action = Act_exit | Act_core | Act_ignore | Act_stop | Act_continue
+
+val default_action : t -> default_action
+val name : t -> string
+val pp : Format.formatter -> t -> unit

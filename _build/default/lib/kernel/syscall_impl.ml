@@ -1,0 +1,703 @@
+(* The system-call table.  [execute k lwp req] runs at the point where the
+   trap-entry cost has been charged; it mutates kernel state and finishes
+   by either completing the call (K.complete, which charges the per-call
+   operation cost and the trap exit) or blocking the LWP (K.block plus a
+   registered wakeup path). *)
+
+open Ktypes
+open Sysdefs
+module K = Kernel_impl
+module Sig = Signal_impl
+module Time = Sunos_sim.Time
+module Shm = Sunos_hw.Shared_memory
+module Cost = Sunos_hw.Cost_model
+module Machine = Sunos_hw.Machine
+module Disk = Sunos_hw.Devices.Disk
+module Tty = Sunos_hw.Devices.Tty
+
+let copy_cost (c : Cost.t) bytes_ =
+  Int64.mul c.Cost.copy_per_kb (Int64.of_int ((bytes_ + 1023) / 1024))
+
+let lookup_fd proc fd = Hashtbl.find_opt proc.fdtab fd
+
+let install_fd proc fdobj =
+  let fd = proc.next_fd in
+  proc.next_fd <- proc.next_fd + 1;
+  Hashtbl.replace proc.fdtab fd fdobj;
+  fd
+
+(* --- readiness, shared by read/write/poll --------------------------- *)
+
+let in_ready k fdobj =
+  match fdobj with
+  | Fd_file _ -> true
+  | Fd_pipe_r p -> Pipe.readable p
+  | Fd_pipe_w _ -> false
+  | Fd_net ch -> Netchan.readable ch
+  | Fd_tty -> Tty.has_input k.machine.Machine.tty
+
+let out_ready fdobj =
+  match fdobj with
+  | Fd_file _ | Fd_tty | Fd_net _ -> true
+  | Fd_pipe_w p -> Pipe.writable p
+  | Fd_pipe_r _ -> false
+
+(* Register a one-shot "something changed" callback on a pollable object.
+   File fds are always ready so they never need registration. *)
+let register_ready k fdobj ~want_in ~want_out f =
+  match fdobj with
+  | Fd_pipe_r p -> if want_in then Pipe.on_readable p f
+  | Fd_pipe_w p -> if want_out then Pipe.on_writable p f
+  | Fd_net ch -> if want_in then Netchan.on_readable ch f
+  | Fd_tty -> if want_in then Tty.on_data_ready k.machine.Machine.tty f
+  | Fd_file _ -> ()
+
+(* --- file I/O -------------------------------------------------------- *)
+
+(* Pages of [file] covered by the range that are not yet in the "page
+   cache" (segment residency). *)
+let missing_pages file ~pos ~len =
+  let seg = Fs.segment file in
+  List.filter
+    (fun p -> p < Shm.page_count seg && not (Shm.resident seg ~page:p))
+    (Fs.pages_touched ~pos ~len)
+
+let file_read k lwp file ~pos ~set_pos ~len =
+  let c = K.cost k in
+  let finish () =
+    let data = Fs.read file ~pos ~len in
+    set_pos (pos + String.length data);
+    K.complete k lwp
+      ~op_cost:(Int64.add c.Cost.fs_op (copy_cost c (String.length data)))
+      (R_bytes data)
+  in
+  match missing_pages file ~pos ~len with
+  | [] -> finish ()
+  | missing ->
+      (* major fault path: block (uninterruptibly, like the classic "D"
+         state) until the disk delivers the pages; only this LWP waits *)
+      lwp.proc.majflt <- lwp.proc.majflt + List.length missing;
+      K.block k lwp ~wchan:"disk" ~interruptible:false ~indefinite:false
+        ~cancel:(fun () -> ());
+      Disk.submit k.machine.Machine.disk
+        ~bytes_:(List.length missing * 4096)
+        ~on_complete:(fun () ->
+          let seg = Fs.segment file in
+          List.iter (fun p -> Shm.make_resident seg ~page:p) missing;
+          match lwp.sleep with
+          | Some _ ->
+              let data = Fs.read file ~pos ~len in
+              set_pos (pos + String.length data);
+              K.wake k lwp (R_bytes data)
+          | None -> ())
+
+let file_write k lwp file ~pos ~set_pos data =
+  let c = K.cost k in
+  let n = Fs.write file ~pos data in
+  set_pos (pos + n);
+  (* write-allocate: pages become resident; write-behind hides the disk *)
+  let seg = Fs.segment file in
+  List.iter
+    (fun p -> if p < Shm.page_count seg then Shm.make_resident seg ~page:p)
+    (Fs.pages_touched ~pos ~len:n);
+  K.complete k lwp ~op_cost:(Int64.add c.Cost.fs_op (copy_cost c n)) (R_int n)
+
+(* --- pipe I/O -------------------------------------------------------- *)
+
+let rec pipe_read_blocking k lwp p ~len ~alive =
+  Pipe.on_readable p (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ ->
+            let data = Pipe.read p ~len in
+            if data = "" && not (Pipe.write_closed p) then
+              (* another reader drained it first: keep sleeping *)
+              pipe_read_blocking k lwp p ~len ~alive
+            else begin
+              alive := false;
+              K.wake k lwp (R_bytes data)
+            end
+        | None -> alive := false)
+
+let rec pipe_write_blocking k lwp p data ~alive =
+  Pipe.on_writable p (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ ->
+            if Pipe.read_closed p then begin
+              alive := false;
+              Sig.post_lwp k lwp Signo.sigpipe;
+              K.wake k lwp (R_err Errno.EPIPE)
+            end
+            else begin
+              let n = Pipe.write p data in
+              if n = 0 then pipe_write_blocking k lwp p data ~alive
+              else begin
+                alive := false;
+                K.wake k lwp (R_int n)
+              end
+            end
+        | None -> alive := false)
+
+(* --- net channel ------------------------------------------------------ *)
+
+let rec net_read_blocking k lwp ch ~alive =
+  Netchan.on_readable ch (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ -> (
+            match Netchan.take ch with
+            | Some m ->
+                alive := false;
+                K.wake k lwp (R_bytes m.Netchan.payload)
+            | None ->
+                if Netchan.closed ch then begin
+                  alive := false;
+                  K.wake k lwp (R_bytes "")
+                end
+                else net_read_blocking k lwp ch ~alive)
+        | None -> alive := false)
+
+(* --- poll ------------------------------------------------------------- *)
+
+let poll_ready k proc fds =
+  List.filter_map
+    (fun { pfd; want_in; want_out } ->
+      match lookup_fd proc pfd with
+      | None -> Some pfd (* bad fds report as "ready" so callers notice *)
+      | Some o ->
+          if (want_in && in_ready k o) || (want_out && out_ready o) then
+            Some pfd
+          else None)
+    fds
+
+let rec poll_register k lwp fds ~alive =
+  let on_change () =
+    if !alive then
+      match lwp.sleep with
+      | Some _ ->
+          let ready = poll_ready k lwp.proc fds in
+          if ready <> [] then begin
+            alive := false;
+            K.wake k lwp (R_poll ready)
+          end
+          else poll_register k lwp fds ~alive
+      | None -> alive := false
+  in
+  List.iter
+    (fun { pfd; want_in; want_out } ->
+      match lookup_fd lwp.proc pfd with
+      | Some o -> register_ready k o ~want_in ~want_out on_change
+      | None -> ())
+    fds
+
+(* --- fork / exec ------------------------------------------------------ *)
+
+let do_fork k lwp ~child_main ~all_lwps =
+  let c = K.cost k in
+  let proc = lwp.proc in
+  let n_lwps = List.length (live_lwps proc) in
+  let child = K.make_proc k ~name:proc.pname ~parent:(Some proc) in
+  (* The child shares open file descriptions (same fdobj records: shared
+     offsets, as in UNIX) and keeps shared mappings shared. *)
+  Hashtbl.iter (fun fd o -> Hashtbl.replace child.fdtab fd o) proc.fdtab;
+  child.next_fd <- proc.next_fd;
+  child.cwd <- proc.cwd;
+  child.uid <- proc.uid;
+  child.gid <- proc.gid;
+  Array.blit proc.handlers 0 child.handlers 0 (Array.length proc.handlers);
+  child.mappings <- proc.mappings;
+  List.iter Shm.incr_map_count child.mappings;
+  let clwp =
+    K.make_lwp k child ~entry:child_main ~cls:(Sc_timeshare { ts_pri = 29 })
+  in
+  K.make_runnable k clwp;
+  if all_lwps then
+    (* fork() may cause interruptible syscalls of the other LWPs to
+       return EINTR (the paper calls this out explicitly) *)
+    List.iter
+      (fun l -> if l != lwp then K.interrupt_sleep k l)
+      proc.lwps;
+  let lwp_cost = if all_lwps then n_lwps else 1 in
+  let op_cost =
+    Int64.add c.Cost.fork_base
+      (Int64.mul c.Cost.fork_per_lwp (Int64.of_int lwp_cost))
+  in
+  K.complete k lwp ~op_cost (R_int child.pid)
+
+let do_exec k lwp ~name ~main =
+  let c = K.cost k in
+  let proc = lwp.proc in
+  (* destroy every other LWP; the caller becomes the single fresh LWP *)
+  List.iter (fun l -> if l != lwp then K.destroy_lwp k l) proc.lwps;
+  proc.lwps <- [ lwp ];
+  Array.fill proc.handlers 0 (Array.length proc.handlers) Sig_default;
+  proc.proc_sig_pending <- [];
+  Queue.clear lwp.deliverable;
+  lwp.lwp_sig_pending <- [];
+  lwp.on_resume <- ignore;
+  proc.pname <- name;
+  K.trace k "exec" "pid%d becomes %s" proc.pid name;
+  let cpu = K.cpu_of k lwp in
+  K.busy k cpu lwp c.Cost.exec_cost (fun () ->
+      lwp.in_kernel <- false;
+      lwp.pending <- P_start main;
+      K.resume k cpu lwp)
+
+(* --- waitpid ----------------------------------------------------------- *)
+
+let do_waitpid k lwp pid_filter =
+  let proc = lwp.proc in
+  let matches child =
+    match pid_filter with None -> true | Some p -> child.pid = p
+  in
+  let candidates = List.filter matches proc.children in
+  if candidates = [] then K.complete k lwp (R_err Errno.ECHILD)
+  else
+    match List.find_opt (fun ch -> ch.pstate = Pzombie) candidates with
+    | Some zombie ->
+        zombie.pstate <- Preaped;
+        proc.children <- List.filter (fun ch -> ch != zombie) proc.children;
+        K.complete k lwp (R_wait (zombie.pid, zombie.exit_status))
+    | None ->
+        proc.waitpid_waiters <- lwp :: proc.waitpid_waiters;
+        K.block k lwp ~wchan:"waitpid" ~interruptible:true ~indefinite:true
+          ~cancel:(fun () ->
+            proc.waitpid_waiters <-
+              List.filter (fun l -> l != lwp) proc.waitpid_waiters)
+
+(* --- the table --------------------------------------------------------- *)
+
+let execute k lwp req =
+  let c = K.cost k in
+  let proc = lwp.proc in
+  match req with
+  | Sys_getpid -> K.complete k lwp (R_int proc.pid)
+  | Sys_getlwpid -> K.complete k lwp (R_int lwp.lid)
+  | Sys_gettime -> K.complete k lwp (R_time (K.now k))
+  | Sys_nanosleep span ->
+      (* A user-specified duration can be arbitrarily long, so it counts
+         as an "indefinite" wait for SIGWAITING purposes — otherwise a
+         long sleep pins its LWP while runnable threads starve (the
+         paper's "supposedly short term blocking may take a long time"
+         remark). *)
+      K.block k lwp ~wchan:"nanosleep" ~interruptible:true ~indefinite:true
+        ~cancel:(fun () -> ());
+      K.set_sleep_timeout k lwp span R_ok
+  | Sys_exit status -> K.proc_exit k proc ~status
+  | Sys_fork { child_main; all_lwps } -> do_fork k lwp ~child_main ~all_lwps
+  | Sys_exec { name; main } -> do_exec k lwp ~name ~main
+  | Sys_waitpid pid_filter -> do_waitpid k lwp pid_filter
+  | Sys_open (path, flags) -> (
+      let has f = List.mem f flags in
+      match Fs.lookup k.fs path with
+      | Some file ->
+          let fd = install_fd proc (Fd_file { file; pos = 0 }) in
+          K.complete k lwp ~op_cost:c.Cost.fs_op (R_int fd)
+      | None ->
+          if has O_CREAT then (
+            match Fs.create_file k.fs ~path () with
+            | Ok file ->
+                let fd = install_fd proc (Fd_file { file; pos = 0 }) in
+                K.complete k lwp ~op_cost:c.Cost.fs_op (R_int fd)
+            | Error e -> K.complete k lwp (R_err e))
+          else K.complete k lwp (R_err Errno.ENOENT))
+  | Sys_open_net ch ->
+      let fd = install_fd proc (Fd_net ch) in
+      K.complete k lwp (R_int fd)
+  | Sys_close fd -> (
+      match lookup_fd proc fd with
+      | None -> K.complete k lwp (R_err Errno.EBADF)
+      | Some o ->
+          Hashtbl.remove proc.fdtab fd;
+          K.close_fdobj o;
+          K.complete k lwp ~op_cost:c.Cost.fs_op R_ok)
+  | Sys_read (fd, len) -> (
+      match lookup_fd proc fd with
+      | None -> K.complete k lwp (R_err Errno.EBADF)
+      | Some (Fd_file f) ->
+          file_read k lwp f.file ~pos:f.pos ~set_pos:(fun p -> f.pos <- p)
+            ~len
+      | Some (Fd_pipe_r p) ->
+          let data = Pipe.read p ~len in
+          if data <> "" || Pipe.write_closed p then
+            K.complete k lwp ~op_cost:c.Cost.pipe_op (R_bytes data)
+          else begin
+            let alive = ref true in
+            K.block k lwp ~wchan:"pipe_read" ~interruptible:true
+              ~indefinite:true
+              ~cancel:(fun () -> alive := false);
+            pipe_read_blocking k lwp p ~len ~alive
+          end
+      | Some (Fd_pipe_w _) -> K.complete k lwp (R_err Errno.EBADF)
+      | Some (Fd_net ch) -> (
+          match Netchan.take ch with
+          | Some m ->
+              K.complete k lwp ~op_cost:c.Cost.pipe_op
+                (R_bytes m.Netchan.payload)
+          | None ->
+              if Netchan.closed ch then
+                K.complete k lwp ~op_cost:c.Cost.pipe_op (R_bytes "")
+              else begin
+                let alive = ref true in
+                K.block k lwp ~wchan:"net_read" ~interruptible:true
+                  ~indefinite:true
+                  ~cancel:(fun () -> alive := false);
+                net_read_blocking k lwp ch ~alive
+              end)
+      | Some Fd_tty -> (
+          match Tty.read_input k.machine.Machine.tty with
+          | Some line ->
+              K.complete k lwp ~op_cost:c.Cost.pipe_op (R_bytes line)
+          | None ->
+              let alive = ref true in
+              K.block k lwp ~wchan:"tty_read" ~interruptible:true
+                ~indefinite:true
+                ~cancel:(fun () -> alive := false);
+              let rec wait_input () =
+                Tty.on_data_ready k.machine.Machine.tty (fun () ->
+                    if !alive then
+                      match lwp.sleep with
+                      | Some _ -> (
+                          match Tty.read_input k.machine.Machine.tty with
+                          | Some line ->
+                              alive := false;
+                              K.wake k lwp (R_bytes line)
+                          | None -> wait_input ())
+                      | None -> alive := false)
+              in
+              wait_input ()))
+  | Sys_write (fd, data) -> (
+      match lookup_fd proc fd with
+      | None -> K.complete k lwp (R_err Errno.EBADF)
+      | Some (Fd_file f) ->
+          file_write k lwp f.file ~pos:f.pos
+            ~set_pos:(fun p -> f.pos <- p)
+            data
+      | Some (Fd_pipe_w p) ->
+          if Pipe.read_closed p then begin
+            Sig.post_lwp k lwp Signo.sigpipe;
+            K.complete k lwp (R_err Errno.EPIPE)
+          end
+          else
+            let n = Pipe.write p data in
+            if n > 0 then K.complete k lwp ~op_cost:c.Cost.pipe_op (R_int n)
+            else begin
+              let alive = ref true in
+              K.block k lwp ~wchan:"pipe_write" ~interruptible:true
+                ~indefinite:true
+                ~cancel:(fun () -> alive := false);
+              pipe_write_blocking k lwp p data ~alive
+            end
+      | Some (Fd_pipe_r _) -> K.complete k lwp (R_err Errno.EBADF)
+      | Some (Fd_net ch) ->
+          (match Netchan.pop_reply ch with
+          | Some reply -> reply data
+          | None -> ());
+          K.complete k lwp
+            ~op_cost:(Int64.add c.Cost.pipe_op (copy_cost c (String.length data)))
+            (R_int (String.length data))
+      | Some Fd_tty ->
+          K.complete k lwp
+            ~op_cost:(copy_cost c (String.length data))
+            (R_int (String.length data)))
+  | Sys_lseek (fd, pos) -> (
+      match lookup_fd proc fd with
+      | Some (Fd_file f) ->
+          f.pos <- pos;
+          K.complete k lwp R_ok
+      | Some (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty) | None ->
+          K.complete k lwp (R_err Errno.EINVAL))
+  | Sys_unlink path -> (
+      match Fs.unlink k.fs path with
+      | Ok () -> K.complete k lwp ~op_cost:c.Cost.fs_op R_ok
+      | Error e -> K.complete k lwp (R_err e))
+  | Sys_mmap { fd } -> (
+      match lookup_fd proc fd with
+      | Some (Fd_file f) ->
+          let seg = Fs.segment f.file in
+          proc.mappings <- seg :: proc.mappings;
+          Shm.incr_map_count seg;
+          K.complete k lwp ~op_cost:c.Cost.fs_op (R_seg seg)
+      | Some (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty) | None ->
+          K.complete k lwp (R_err Errno.EBADF))
+  | Sys_mmap_anon { size; shared = _ } ->
+      let seg = Shm.create ~name:"[anon]" ~size in
+      proc.mappings <- seg :: proc.mappings;
+      Shm.incr_map_count seg;
+      K.complete k lwp ~op_cost:c.Cost.fs_op (R_seg seg)
+  | Sys_munmap seg ->
+      let removed = ref false in
+      proc.mappings <-
+        List.filter
+          (fun s ->
+            if (not !removed) && s == seg then begin
+              removed := true;
+              false
+            end
+            else true)
+          proc.mappings;
+      if !removed then Shm.decr_map_count seg;
+      K.complete k lwp (if !removed then R_ok else R_err Errno.EINVAL)
+  | Sys_touch (seg, offset) ->
+      let page = Shm.page_of_offset ~offset in
+      if page >= Shm.page_count seg then K.complete k lwp (R_err Errno.EINVAL)
+      else if Shm.resident seg ~page then K.complete k lwp R_ok
+      else begin
+        (* Is the segment file-backed?  Then the fault reads from disk
+           and blocks only this LWP. *)
+        let file_backed =
+          match Fs.lookup k.fs (Shm.name seg) with
+          | Some file -> Fs.segment file == seg
+          | None -> false
+        in
+        if file_backed then begin
+          proc.majflt <- proc.majflt + 1;
+          K.block k lwp ~wchan:"pagefault" ~interruptible:false
+            ~indefinite:false
+            ~cancel:(fun () -> ());
+          Disk.submit k.machine.Machine.disk ~bytes_:4096
+            ~on_complete:(fun () ->
+              Shm.make_resident seg ~page;
+              K.wake k lwp R_ok)
+        end
+        else begin
+          proc.minflt <- proc.minflt + 1;
+          Shm.make_resident seg ~page;
+          K.complete k lwp ~op_cost:c.Cost.pagefault_service R_ok
+        end
+      end
+  | Sys_pipe ->
+      let p = Pipe.create () in
+      let rfd = install_fd proc (Fd_pipe_r p) in
+      let wfd = install_fd proc (Fd_pipe_w p) in
+      K.complete k lwp ~op_cost:c.Cost.pipe_op (R_fds (rfd, wfd))
+  | Sys_poll (fds, timeout) -> (
+      let op_cost =
+        Int64.add c.Cost.poll_fixed
+          (Int64.mul c.Cost.poll_per_fd (Int64.of_int (List.length fds)))
+      in
+      let ready = poll_ready k proc fds in
+      match (ready, timeout) with
+      | _ :: _, _ -> K.complete k lwp ~op_cost (R_poll ready)
+      | [], Some t when Time.(t <= 0L) -> K.complete k lwp ~op_cost (R_poll [])
+      | [], _ ->
+          let alive = ref true in
+          K.block k lwp ~wchan:"poll" ~interruptible:true ~indefinite:true
+            ~cancel:(fun () -> alive := false);
+          poll_register k lwp fds ~alive;
+          (match timeout with
+          | Some t -> K.set_sleep_timeout k lwp t (R_poll [])
+          | None -> ()))
+  | Sys_kill (pid, signo) -> (
+      match K.find_proc k pid with
+      | Some target ->
+          Sig.post_proc k target signo;
+          K.complete k lwp ~op_cost:c.Cost.signal_post R_ok
+      | None -> K.complete k lwp (R_err Errno.ESRCH))
+  | Sys_lwp_kill (lid, signo) -> (
+      match K.find_lwp proc lid with
+      | Some target ->
+          Sig.post_lwp k target signo;
+          K.complete k lwp ~op_cost:c.Cost.signal_post R_ok
+      | None -> K.complete k lwp (R_err Errno.ESRCH))
+  | Sys_sigaction (signo, disp) ->
+      if signo = Signo.sigkill || signo = Signo.sigstop then
+        K.complete k lwp (R_err Errno.EINVAL)
+      else begin
+        let old = proc.handlers.(signo) in
+        proc.handlers.(signo) <- disp;
+        K.complete k lwp (R_disp old)
+      end
+  | Sys_sigprocmask (how, set) ->
+      lwp.sigmask <- Sigset.apply how set ~old:lwp.sigmask;
+      Sig.mask_changed k lwp;
+      K.complete k lwp R_ok
+  | Sys_sigaltstack enabled ->
+      lwp.altstack <- enabled;
+      K.complete k lwp R_ok
+  | Sys_sig_pickup ->
+      let sigs = Sig.pickup k lwp in
+      let op_cost =
+        Int64.mul c.Cost.signal_deliver (Int64.of_int (List.length sigs))
+      in
+      K.complete k lwp ~op_cost (R_sigs sigs)
+  | Sys_trap signo -> (
+      (* synchronous fault: handled only by the faulting thread *)
+      match proc.handlers.(signo) with
+      | Sig_handler _ as d ->
+          K.complete k lwp ~op_cost:c.Cost.signal_deliver (R_sigs [ (signo, d) ])
+      | Sig_ignore -> K.complete k lwp R_ok
+      | Sig_default ->
+          Sig.default_action k proc signo;
+          K.complete k lwp R_ok (* no-op if the action killed us *))
+  | Sys_lwp_create { entry; cls } ->
+      let cls =
+        match cls with
+        | None | Some Cls_timeshare -> Sc_timeshare { ts_pri = 29 }
+        | Some (Cls_realtime p) -> Sc_realtime p
+        | Some (Cls_gang g) -> Sc_gang g
+      in
+      let nlwp = K.spawn_lwp k proc ~entry ~cls in
+      K.complete k lwp ~op_cost:c.Cost.lwp_create (R_int nlwp.lid)
+  | Sys_lwp_exit ->
+      (* charge the destruction before the LWP disappears *)
+      let cpu = K.cpu_of k lwp in
+      K.busy k cpu lwp c.Cost.lwp_destroy (fun () ->
+          K.lwp_exit_internal k lwp)
+  | Sys_lwp_park timeout ->
+      if lwp.park_token then begin
+        lwp.park_token <- false;
+        K.complete k lwp ~op_cost:c.Cost.sleep_enqueue R_ok
+      end
+      else begin
+        (* pay for the sleep-queue insertion before giving up the CPU *)
+        let cpu = K.cpu_of k lwp in
+        K.busy k cpu lwp c.Cost.sleep_enqueue (fun () ->
+            lwp.parked <- true;
+            K.block k lwp ~wchan:"lwp_park" ~interruptible:true
+              ~indefinite:(timeout = None)
+              ~cancel:(fun () -> lwp.parked <- false);
+            match timeout with
+            | Some t -> K.set_sleep_timeout k lwp t (R_err Errno.ETIMEDOUT)
+            | None -> ())
+      end
+  | Sys_lwp_unpark lid -> (
+      match K.find_lwp proc lid with
+      | None -> K.complete k lwp (R_err Errno.ESRCH)
+      | Some target ->
+          if target.parked then begin
+            (match target.sleep with
+            | Some sl -> sl.sl_cancel ()
+            | None -> ());
+            K.wake k target R_ok
+          end
+          else target.park_token <- true;
+          (* unpark = dequeue from the park sleep queue + generic wakeup *)
+          K.complete k lwp
+            ~op_cost:(Int64.add c.Cost.wakeup c.Cost.sleep_enqueue)
+            R_ok)
+  | Sys_kwait { seg; offset; timeout; expect } -> (
+      (* futex compare: evaluated atomically here, before sleeping *)
+      match expect with
+      | Some p when not (p ()) ->
+          K.complete k lwp ~op_cost:c.Cost.kwait_fixed R_ok
+      | Some _ | None ->
+          let key = (Shm.id seg, offset) in
+          let q =
+            match Hashtbl.find_opt k.futex key with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.replace k.futex key q;
+                q
+          in
+          let waiter = { fw_lwp = lwp; fw_alive = ref true } in
+          Queue.add waiter q;
+          K.block k lwp ~wchan:"kwait" ~interruptible:true ~indefinite:true
+            ~cancel:(fun () -> waiter.fw_alive := false);
+          (match timeout with
+          | Some t -> K.set_sleep_timeout k lwp t (R_err Errno.ETIMEDOUT)
+          | None -> ()))
+  | Sys_kwake { seg; offset; count } ->
+      let key = (Shm.id seg, offset) in
+      let woken = ref 0 in
+      (match Hashtbl.find_opt k.futex key with
+      | None -> ()
+      | Some q ->
+          while !woken < count && not (Queue.is_empty q) do
+            let w = Queue.pop q in
+            if !(w.fw_alive) && w.fw_lwp.lstate = Lsleeping then begin
+              w.fw_alive := false;
+              incr woken;
+              K.wake k w.fw_lwp R_ok
+            end
+          done);
+      (* a futex wake is a directed handoff straight onto the run queue:
+         its cost is folded into the fixed part *)
+      let op_cost = c.Cost.kwake_fixed in
+      K.complete k lwp ~op_cost (R_int !woken)
+  | Sys_setitimer (which, span) -> (
+      match which with
+      | Timer_real ->
+          (match proc.rtimer with
+          | Some h -> Sunos_sim.Eventq.cancel h
+          | None -> ());
+          proc.rtimer <- None;
+          (match span with
+          | Some t ->
+              let h =
+                Sunos_sim.Eventq.after k.machine.Machine.eventq t (fun () ->
+                    proc.rtimer <- None;
+                    Sig.post_proc k proc Signo.sigalrm)
+              in
+              proc.rtimer <- Some h
+          | None -> ());
+          K.complete k lwp R_ok
+      | Timer_virtual ->
+          lwp.vtimer_left <- span;
+          K.complete k lwp R_ok
+      | Timer_prof ->
+          lwp.ptimer_left <- span;
+          K.complete k lwp R_ok)
+  | Sys_priocntl cls_req ->
+      K.gang_remove k lwp;
+      (lwp.cls <-
+        (match cls_req with
+        | Cls_timeshare -> Sc_timeshare { ts_pri = 29 }
+        | Cls_realtime p -> Sc_realtime p
+        | Cls_gang g -> Sc_gang g));
+      (match lwp.cls with
+      | Sc_gang gid ->
+          let members =
+            match Hashtbl.find_opt k.gangs gid with
+            | Some m -> m
+            | None ->
+                let m = ref [] in
+                Hashtbl.replace k.gangs gid m;
+                m
+          in
+          members := !members @ [ lwp ]
+      | Sc_timeshare _ | Sc_realtime _ -> ());
+      K.complete k lwp R_ok
+  | Sys_prio_set p ->
+      lwp.prio_user <- p;
+      K.complete k lwp R_ok
+  | Sys_processor_bind cpu_opt -> (
+      match cpu_opt with
+      | Some cid when cid < 0 || cid >= Array.length k.machine.Machine.cpus ->
+          K.complete k lwp (R_err Errno.EINVAL)
+      | _ ->
+          lwp.bound_cpu <- cpu_opt;
+          K.complete k lwp R_ok)
+  | Sys_getrusage ->
+      let utime, stime =
+        List.fold_left
+          (fun (u, s) l -> (Int64.add u l.utime, Int64.add s l.stime))
+          (proc.dead_utime, proc.dead_stime)
+          proc.lwps
+      in
+      K.complete k lwp
+        (R_rusage
+           {
+             ru_utime = utime;
+             ru_stime = stime;
+             ru_nlwps = List.length (live_lwps proc);
+             ru_minflt = proc.minflt;
+             ru_majflt = proc.majflt;
+           })
+  | Sys_setrlimit_cpu span ->
+      proc.cpu_limit <- span;
+      K.complete k lwp R_ok
+  | Sys_profil enabled ->
+      lwp.prof_on <- enabled;
+      K.complete k lwp R_ok
+  | Sys_set_resume_hook hook ->
+      lwp.on_resume <- hook;
+      K.complete k lwp R_ok
+  | Sys_upcall_on_block { enabled; activation_entry } ->
+      proc.upcall_on_block <- enabled;
+      proc.activation_entry <- activation_entry;
+      K.complete k lwp R_ok
+
+let install k = k.syscall_exec <- execute k

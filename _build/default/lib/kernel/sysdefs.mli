@@ -1,0 +1,130 @@
+(** System-call request and result types.
+
+    These are the wire format between user code (fibers) and the kernel:
+    a fiber performs [Uctx.Sys req] and receives a {!sysret}.  Typed
+    wrappers in {!Uctx} hide the variant plumbing from applications. *)
+
+type fd = int
+
+type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC
+
+type disposition =
+  | Sig_default
+  | Sig_ignore
+  | Sig_handler of (Signo.t -> unit)
+      (** Handlers are closures run in the receiving thread's context;
+          they may perform charges and system calls. *)
+
+type which_timer = Timer_real | Timer_virtual | Timer_prof
+
+type sched_class_req =
+  | Cls_timeshare
+  | Cls_realtime of int  (** fixed priority, 0..59 *)
+  | Cls_gang of int  (** gang group id; members dispatch together *)
+
+type poll_fd = { pfd : fd; want_in : bool; want_out : bool }
+
+type rusage = {
+  ru_utime : Sunos_sim.Time.span;  (** user CPU, all LWPs, incl. dead *)
+  ru_stime : Sunos_sim.Time.span;  (** system CPU, all LWPs, incl. dead *)
+  ru_nlwps : int;  (** live LWPs *)
+  ru_minflt : int;
+  ru_majflt : int;
+}
+
+type sysreq =
+  | Sys_getpid
+  | Sys_getlwpid
+  | Sys_gettime
+  | Sys_nanosleep of Sunos_sim.Time.span
+  | Sys_exit of int
+  | Sys_fork of { child_main : unit -> unit; all_lwps : bool }
+      (** [all_lwps = true] is [fork()]; [false] is [fork1()].  See
+          DESIGN.md: execution of duplicated LWPs is not reproduced
+          (one-shot continuations), but the cost model and the EINTR
+          side effect on the parent's other LWPs are. *)
+  | Sys_exec of { name : string; main : unit -> unit }
+  | Sys_waitpid of int option  (** None: any child *)
+  | Sys_open of string * open_flag list
+  | Sys_open_net of Netchan.t
+  | Sys_close of fd
+  | Sys_read of fd * int
+  | Sys_write of fd * string
+  | Sys_lseek of fd * int
+  | Sys_unlink of string
+  | Sys_mmap of { fd : fd }
+      (** Shared mapping of the file's backing segment (MAP_SHARED). *)
+  | Sys_mmap_anon of { size : int; shared : bool }
+  | Sys_munmap of Sunos_hw.Shared_memory.t
+  | Sys_touch of Sunos_hw.Shared_memory.t * int
+      (** Reference offset in a mapping: the page-fault path.  Resident:
+          free.  Non-resident: minor fault, plus disk I/O (blocking this
+          LWP only) when file-backed. *)
+  | Sys_pipe
+  | Sys_poll of poll_fd list * Sunos_sim.Time.span option
+      (** No timeout = indefinite wait (counts toward SIGWAITING). *)
+  | Sys_kill of int * Signo.t
+  | Sys_lwp_kill of int * Signo.t  (** LWP-directed, own process only *)
+  | Sys_sigaction of Signo.t * disposition
+  | Sys_sigprocmask of Sigset.how * Sigset.t
+  | Sys_sigaltstack of bool
+  | Sys_sig_pickup
+      (** Collect deliverable signals for the current LWP (the
+          return-to-user-mode delivery point). *)
+  | Sys_trap of Signo.t
+      (** Synchronous fault raised by the current instruction stream. *)
+  | Sys_lwp_create of { entry : unit -> unit; cls : sched_class_req option }
+  | Sys_lwp_exit
+  | Sys_lwp_park of Sunos_sim.Time.span option
+      (** Sleep until {!Sys_lwp_unpark}; a pending unpark token makes it
+          return immediately.  No timeout = indefinite. *)
+  | Sys_lwp_unpark of int
+  | Sys_kwait of {
+      seg : Sunos_hw.Shared_memory.t;
+      offset : int;
+      timeout : Sunos_sim.Time.span option;
+      expect : (unit -> bool) option;
+    }
+      (** Block on a shared-memory sync variable (futex-style).  When
+          [expect] is given, it is evaluated atomically at sleep time; if
+          it returns [false] the call returns immediately instead of
+          sleeping (the futex "compare" that closes the lost-wakeup
+          race). *)
+  | Sys_kwake of { seg : Sunos_hw.Shared_memory.t; offset : int; count : int }
+  | Sys_setitimer of which_timer * Sunos_sim.Time.span option
+  | Sys_priocntl of sched_class_req
+  | Sys_prio_set of int
+  | Sys_processor_bind of int option
+  | Sys_getrusage
+  | Sys_setrlimit_cpu of Sunos_sim.Time.span option
+  | Sys_profil of bool
+  | Sys_set_resume_hook of (unit -> unit)
+      (** Install a per-LWP hook run whenever the kernel resumes this LWP
+          — the simulation analogue of the current-thread register
+          (SPARC %g7) being part of the restored context.  Free. *)
+  | Sys_upcall_on_block of {
+      enabled : bool;
+      activation_entry : (unit -> unit) option;
+    }
+      (** Scheduler-activations mode: on every application block the
+          kernel hands the library a running context — an unparked idle
+          LWP, or a fresh "activation" LWP executing [activation_entry]
+          (the paper's "faster events" future work / the University of
+          Washington comparison). *)
+
+type sysret =
+  | R_ok
+  | R_int of int
+  | R_err of Errno.t
+  | R_bytes of string
+  | R_fds of fd * fd
+  | R_poll of fd list
+  | R_wait of int * int  (** pid, exit status *)
+  | R_time of Sunos_sim.Time.t
+  | R_seg of Sunos_hw.Shared_memory.t
+  | R_sigs of (Signo.t * disposition) list
+  | R_disp of disposition
+  | R_rusage of rusage
+
+val sysreq_name : sysreq -> string
+val pp_sysret : Format.formatter -> sysret -> unit

@@ -1,0 +1,289 @@
+module Time = Sunos_sim.Time
+open Sysdefs
+
+type _ Effect.t +=
+  | Charge : Time.span -> bool Effect.t
+  | Sys : sysreq -> sysret Effect.t
+
+type step =
+  | Step_done
+  | Step_raised of exn * Printexc.raw_backtrace
+  | Step_charge of Time.span * (bool, step) Effect.Deep.continuation
+  | Step_sys of sysreq * (sysret, step) Effect.Deep.continuation
+
+exception Process_killed
+
+let run_fiber f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> Step_done);
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Step_raised (e, bt));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Charge span ->
+              Some
+                (fun (k : (a, step) continuation) -> Step_charge (span, k))
+          | Sys req ->
+              Some (fun (k : (a, step) continuation) -> Step_sys (req, k))
+          | _ -> None);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Typed wrappers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let syscall req = Effect.perform (Sys req)
+
+let fail call = function
+  | R_err e -> raise (Errno.Unix_error (e, call))
+  | r ->
+      invalid_arg
+        (Format.asprintf "unexpected sysret for %s: %a" call pp_sysret r)
+
+(* Deliverable-signal pickup: the return-to-user-mode delivery point.
+   Handlers run right here in the calling fiber, so they may themselves
+   charge, block and make system calls.  Default/ignore dispositions were
+   already resolved kernel-side; only real handlers reach us. *)
+let rec checkpoint () =
+  match syscall Sys_sig_pickup with
+  | R_sigs [] -> ()
+  | R_sigs sigs ->
+      List.iter
+        (fun (signo, disp) ->
+          match disp with
+          | Sig_handler h -> h signo
+          | Sig_default | Sig_ignore -> ())
+        sigs;
+      checkpoint ()
+  | r -> fail "sig_pickup" r
+
+let charge span = if Effect.perform (Charge span) then checkpoint ()
+let charge_us n = charge (Time.us n)
+let compute = charge
+
+let getpid () =
+  match syscall Sys_getpid with R_int p -> p | r -> fail "getpid" r
+
+let getlwpid () =
+  match syscall Sys_getlwpid with R_int l -> l | r -> fail "getlwpid" r
+
+let gettime () =
+  match syscall Sys_gettime with R_time t -> t | r -> fail "gettime" r
+
+let exit code =
+  ignore (syscall (Sys_exit code));
+  (* The kernel never resumes an exiting LWP. *)
+  assert false
+
+let fork ~child_main =
+  match syscall (Sys_fork { child_main; all_lwps = true }) with
+  | R_int pid -> pid
+  | r -> fail "fork" r
+
+let fork1 ~child_main =
+  match syscall (Sys_fork { child_main; all_lwps = false }) with
+  | R_int pid -> pid
+  | r -> fail "fork1" r
+
+let exec ~name ~main =
+  ignore (syscall (Sys_exec { name; main }));
+  assert false
+
+let rec waitpid ?pid () =
+  match syscall (Sys_waitpid pid) with
+  | R_wait (p, status) -> (p, status)
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      waitpid ?pid ()
+  | r -> fail "waitpid" r
+
+(* SA_RESTART-style sleep: signal handlers (including the library's
+   internal SIGWAITING growth) run and the sleep resumes for the
+   remaining time, so library-internal signals never truncate
+   application sleeps. *)
+let sleep span =
+  let deadline = Time.add (gettime ()) span in
+  let rec go () =
+    let now = gettime () in
+    if Time.(now < deadline) then
+      match syscall (Sys_nanosleep (Time.diff deadline now)) with
+      | R_ok -> ()
+      | R_err Errno.EINTR ->
+          checkpoint ();
+          go ()
+      | r -> fail "nanosleep" r
+  in
+  go ()
+
+let open_file ?(flags = [ O_RDWR; O_CREAT ]) path =
+  match syscall (Sys_open (path, flags)) with
+  | R_int fd -> fd
+  | r -> fail "open" r
+
+let open_net chan =
+  match syscall (Sys_open_net chan) with
+  | R_int fd -> fd
+  | r -> fail "open_net" r
+
+let close fd =
+  match syscall (Sys_close fd) with R_ok -> () | r -> fail "close" r
+
+let rec read fd ~len =
+  match syscall (Sys_read (fd, len)) with
+  | R_bytes s -> s
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      read fd ~len
+  | r -> fail "read" r
+
+let rec write fd data =
+  match syscall (Sys_write (fd, data)) with
+  | R_int n -> n
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      write fd data
+  | r -> fail "write" r
+
+let lseek fd pos =
+  match syscall (Sys_lseek (fd, pos)) with R_ok -> () | r -> fail "lseek" r
+
+let unlink path =
+  match syscall (Sys_unlink path) with R_ok -> () | r -> fail "unlink" r
+
+let pipe () =
+  match syscall Sys_pipe with R_fds (r, w) -> (r, w) | r -> fail "pipe" r
+
+let rec poll ?timeout fds =
+  match syscall (Sys_poll (fds, timeout)) with
+  | R_poll ready -> ready
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      poll ?timeout fds
+  | r -> fail "poll" r
+
+let mmap fd =
+  match syscall (Sys_mmap { fd }) with R_seg s -> s | r -> fail "mmap" r
+
+let mmap_anon ~size ~shared =
+  match syscall (Sys_mmap_anon { size; shared }) with
+  | R_seg s -> s
+  | r -> fail "mmap_anon" r
+
+let munmap seg =
+  match syscall (Sys_munmap seg) with R_ok -> () | r -> fail "munmap" r
+
+let touch seg ~offset =
+  match syscall (Sys_touch (seg, offset)) with
+  | R_ok -> ()
+  | r -> fail "touch" r
+
+let kill ~pid signo =
+  match syscall (Sys_kill (pid, signo)) with R_ok -> () | r -> fail "kill" r
+
+let lwp_kill ~lwpid signo =
+  match syscall (Sys_lwp_kill (lwpid, signo)) with
+  | R_ok -> ()
+  | r -> fail "lwp_kill" r
+
+let sigaction signo disp =
+  match syscall (Sys_sigaction (signo, disp)) with
+  | R_disp old -> old
+  | r -> fail "sigaction" r
+
+let sigprocmask how set =
+  match syscall (Sys_sigprocmask (how, set)) with
+  | R_ok -> checkpoint () (* unblocking may make pended signals deliverable *)
+  | r -> fail "sigprocmask" r
+
+let trap signo =
+  match syscall (Sys_trap signo) with
+  | R_sigs sigs ->
+      List.iter
+        (fun (s, disp) ->
+          match disp with
+          | Sig_handler h -> h s
+          | Sig_default | Sig_ignore -> ())
+        sigs
+  | R_ok -> ()
+  | r -> fail "trap" r
+
+let lwp_create ?cls ~entry () =
+  match syscall (Sys_lwp_create { entry; cls }) with
+  | R_int lid -> lid
+  | r -> fail "lwp_create" r
+
+let lwp_exit () =
+  ignore (syscall Sys_lwp_exit);
+  assert false
+
+let lwp_park ?timeout () =
+  match syscall (Sys_lwp_park timeout) with
+  | R_ok -> `Parked
+  | R_err Errno.ETIMEDOUT -> `Timeout
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      `Parked (* spurious return; parkers re-check their predicate *)
+  | r -> fail "lwp_park" r
+
+let lwp_unpark lid =
+  match syscall (Sys_lwp_unpark lid) with
+  | R_ok -> ()
+  | r -> fail "lwp_unpark" r
+
+let kwait ~seg ~offset ?timeout ?expect () =
+  match syscall (Sys_kwait { seg; offset; timeout; expect }) with
+  | R_ok -> `Woken
+  | R_err Errno.ETIMEDOUT -> `Timeout
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      `Woken (* spurious; callers re-check *)
+  | r -> fail "kwait" r
+
+let kwake ~seg ~offset ~count =
+  match syscall (Sys_kwake { seg; offset; count }) with
+  | R_int n -> n
+  | r -> fail "kwake" r
+
+let setitimer which span =
+  match syscall (Sys_setitimer (which, span)) with
+  | R_ok -> ()
+  | r -> fail "setitimer" r
+
+let priocntl cls =
+  match syscall (Sys_priocntl cls) with R_ok -> () | r -> fail "priocntl" r
+
+let set_priority p =
+  match syscall (Sys_prio_set p) with R_ok -> () | r -> fail "prio_set" r
+
+let processor_bind cpu =
+  match syscall (Sys_processor_bind cpu) with
+  | R_ok -> ()
+  | r -> fail "processor_bind" r
+
+let getrusage () =
+  match syscall Sys_getrusage with
+  | R_rusage ru -> ru
+  | r -> fail "getrusage" r
+
+let setrlimit_cpu span =
+  match syscall (Sys_setrlimit_cpu span) with
+  | R_ok -> ()
+  | r -> fail "setrlimit_cpu" r
+
+let profil enabled =
+  match syscall (Sys_profil enabled) with R_ok -> () | r -> fail "profil" r
+
+let set_resume_hook hook =
+  match syscall (Sys_set_resume_hook hook) with
+  | R_ok -> ()
+  | r -> fail "set_resume_hook" r
+
+let upcall_on_block ?activation_entry enabled =
+  match syscall (Sys_upcall_on_block { enabled; activation_entry }) with
+  | R_ok -> ()
+  | r -> fail "upcall_on_block" r

@@ -1,0 +1,144 @@
+(** User context: the "instruction set" available to simulated user code.
+
+    Code running on an LWP (directly, or as a thread multiplexed on one)
+    interacts with the machine through exactly two effects: {!Charge}
+    (consume simulated CPU time) and {!Sys} (a system call).  The kernel
+    installs the handler ({!run_fiber} builds the fiber; the kernel owns
+    the returned {!step} values).
+
+    Everything else in this module is typed wrappers over those effects —
+    the libc of the simulation.  Wrappers pick up deliverable signals at
+    the documented delivery points (return from a charge that reports a
+    pending signal; return from an interrupted system call), mirroring
+    delivery on return-to-user-mode. *)
+
+type _ Effect.t +=
+  | Charge : Sunos_sim.Time.span -> bool Effect.t
+        (** Result [true] means deliverable signals are pending. *)
+  | Sys : Sysdefs.sysreq -> Sysdefs.sysret Effect.t
+
+type step =
+  | Step_done
+  | Step_raised of exn * Printexc.raw_backtrace
+  | Step_charge of
+      Sunos_sim.Time.span * (bool, step) Effect.Deep.continuation
+  | Step_sys of
+      Sysdefs.sysreq * (Sysdefs.sysret, step) Effect.Deep.continuation
+
+val run_fiber : (unit -> unit) -> step
+(** Start running [f] as a fiber; returns at its first effect (or
+    completion).  Kernel-internal. *)
+
+exception Process_killed
+(** Used by the kernel to discontinue fibers of a dying process. *)
+
+(** {1 Core} *)
+
+val charge : Sunos_sim.Time.span -> unit
+(** Consume CPU; runs any deliverable signal handlers before returning. *)
+
+val charge_us : int -> unit
+val compute : Sunos_sim.Time.span -> unit
+(** Alias of {!charge} for application compute phases. *)
+
+val syscall : Sysdefs.sysreq -> Sysdefs.sysret
+(** Raw system call; no signal pickup, no error decoding. *)
+
+val checkpoint : unit -> unit
+(** Explicitly collect and run deliverable signal handlers. *)
+
+(** {1 Identity and time} *)
+
+val getpid : unit -> int
+val getlwpid : unit -> int
+val gettime : unit -> Sunos_sim.Time.t
+
+(** {1 Process control} *)
+
+val exit : int -> 'a
+val fork : child_main:(unit -> unit) -> int
+val fork1 : child_main:(unit -> unit) -> int
+val exec : name:string -> main:(unit -> unit) -> 'a
+val waitpid : ?pid:int -> unit -> int * int
+val sleep : Sunos_sim.Time.span -> unit
+(** Returns early (after running handlers) if a signal arrives. *)
+
+(** {1 Files, pipes, polling} *)
+
+val open_file : ?flags:Sysdefs.open_flag list -> string -> Sysdefs.fd
+val open_net : Netchan.t -> Sysdefs.fd
+val close : Sysdefs.fd -> unit
+val read : Sysdefs.fd -> len:int -> string
+val write : Sysdefs.fd -> string -> int
+val lseek : Sysdefs.fd -> int -> unit
+val unlink : string -> unit
+val pipe : unit -> Sysdefs.fd * Sysdefs.fd
+
+val poll :
+  ?timeout:Sunos_sim.Time.span -> Sysdefs.poll_fd list -> Sysdefs.fd list
+(** Restarted after signal handlers run; [[]] only on timeout. *)
+
+(** {1 Memory} *)
+
+val mmap : Sysdefs.fd -> Sunos_hw.Shared_memory.t
+val mmap_anon : size:int -> shared:bool -> Sunos_hw.Shared_memory.t
+val munmap : Sunos_hw.Shared_memory.t -> unit
+val touch : Sunos_hw.Shared_memory.t -> offset:int -> unit
+
+(** {1 Signals} *)
+
+val kill : pid:int -> Signo.t -> unit
+val lwp_kill : lwpid:int -> Signo.t -> unit
+val sigaction : Signo.t -> Sysdefs.disposition -> Sysdefs.disposition
+val sigprocmask : Sigset.how -> Sigset.t -> unit
+val trap : Signo.t -> unit
+(** Raise a synchronous fault in the current thread. *)
+
+(** {1 LWP control} *)
+
+val lwp_create :
+  ?cls:Sysdefs.sched_class_req -> entry:(unit -> unit) -> unit -> int
+
+val lwp_exit : unit -> 'a
+
+val lwp_park :
+  ?timeout:Sunos_sim.Time.span -> unit -> [ `Parked | `Timeout ]
+(** Returns [`Parked] on unpark (including a pending unpark token) and
+    after signal handlers ran (spurious returns allowed: callers loop). *)
+
+val lwp_unpark : int -> unit
+
+(** {1 Shared-memory waiting (sync-variable support)} *)
+
+val kwait :
+  seg:Sunos_hw.Shared_memory.t ->
+  offset:int ->
+  ?timeout:Sunos_sim.Time.span ->
+  ?expect:(unit -> bool) ->
+  unit ->
+  [ `Woken | `Timeout ]
+(** Spurious wakeups allowed (signals); callers re-check their predicate.
+    [expect] is the futex compare: evaluated atomically at sleep time,
+    [false] means return immediately. *)
+
+val kwake : seg:Sunos_hw.Shared_memory.t -> offset:int -> count:int -> int
+(** Returns the number of waiters woken. *)
+
+(** {1 Scheduling, timers, accounting} *)
+
+val setitimer : Sysdefs.which_timer -> Sunos_sim.Time.span option -> unit
+val priocntl : Sysdefs.sched_class_req -> unit
+val set_priority : int -> unit
+val processor_bind : int option -> unit
+val getrusage : unit -> Sysdefs.rusage
+val setrlimit_cpu : Sunos_sim.Time.span option -> unit
+val profil : bool -> unit
+
+val set_resume_hook : (unit -> unit) -> unit
+(** Install this LWP's context-restore hook (see
+    {!Sysdefs.sysreq.Sys_set_resume_hook}). *)
+
+val upcall_on_block : ?activation_entry:(unit -> unit) -> bool -> unit
+(** Toggle scheduler-activations mode: on every application block, the
+    kernel unparks an idle LWP or creates a fresh activation running
+    [activation_entry]. *)

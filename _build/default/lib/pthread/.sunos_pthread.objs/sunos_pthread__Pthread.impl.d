@@ -1,0 +1,1 @@
+lib/pthread/pthread.ml: Fun List Sunos_kernel Sunos_sim Sunos_threads

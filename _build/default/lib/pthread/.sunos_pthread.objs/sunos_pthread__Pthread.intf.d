@@ -1,0 +1,1 @@
+lib/pthread/pthread.mli: Sunos_sim

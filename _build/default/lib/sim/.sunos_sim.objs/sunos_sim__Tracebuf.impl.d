@@ -1,0 +1,1 @@
+lib/sim/tracebuf.ml: Array Format List Time

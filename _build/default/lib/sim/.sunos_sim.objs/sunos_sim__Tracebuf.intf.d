@@ -1,0 +1,1 @@
+lib/sim/tracebuf.mli: Format Time

@@ -1,0 +1,101 @@
+type handle = {
+  time : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+  mutable fired : bool;
+}
+
+type t = {
+  heap : handle Pheap.t;
+  mutable now : Time.t;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable fired_count : int;
+}
+
+let cmp a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { heap = Pheap.create ~cmp; now = Time.zero; next_seq = 0; live = 0;
+    fired_count = 0 }
+
+let now q = q.now
+
+let at q time action =
+  if Time.(time < q.now) then
+    invalid_arg "Eventq.at: scheduling in the past";
+  let h = { time; seq = q.next_seq; action; cancelled = false; fired = false } in
+  q.next_seq <- q.next_seq + 1;
+  Pheap.insert q.heap h;
+  q.live <- q.live + 1;
+  h
+
+let after q d action = at q (Time.add q.now d) action
+
+let cancel h =
+  if (not h.cancelled) && not h.fired then begin
+    h.cancelled <- true
+  end
+
+let is_pending h = (not h.cancelled) && not h.fired
+
+(* Lazy deletion: cancelled events stay in the heap and are skipped when
+   popped.  [live] tracks the non-cancelled population. *)
+let rec run_one q =
+  match Pheap.pop_min q.heap with
+  | None -> false
+  | Some h ->
+      if h.cancelled then run_one q
+      else begin
+        q.now <- h.time;
+        h.fired <- true;
+        q.live <- q.live - 1;
+        q.fired_count <- q.fired_count + 1;
+        h.action ();
+        true
+      end
+
+let rec peek_live q =
+  match Pheap.peek_min q.heap with
+  | None -> None
+  | Some h ->
+      if h.cancelled then begin
+        ignore (Pheap.pop_min q.heap);
+        peek_live q
+      end
+      else Some h
+
+let run ?until ?max_events q =
+  let fired = ref 0 in
+  let continue () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let rec loop () =
+    if continue () then
+      match peek_live q with
+      | None -> ()
+      | Some h -> (
+          match until with
+          | Some horizon when Time.(h.time > horizon) -> q.now <- horizon
+          | _ ->
+              if run_one q then begin
+                incr fired;
+                loop ()
+              end)
+  in
+  loop ();
+  (* If we stopped on the horizon with an empty queue, still advance. *)
+  match until with
+  | Some horizon when Pheap.is_empty q.heap && Time.(q.now < horizon) ->
+      q.now <- horizon
+  | _ -> ()
+
+let pending_count q =
+  (* Prune stale cancelled entries at the front for a tighter answer. *)
+  ignore (peek_live q);
+  q.live
+
+let events_fired q = q.fired_count

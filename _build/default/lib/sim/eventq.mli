@@ -1,0 +1,41 @@
+(** The discrete-event core: a clock and a queue of timed callbacks.
+
+    Every activity in the simulated machine — CPU cost charging, device
+    completion interrupts, timer expiry, preemption — is an event.  Events
+    scheduled for the same instant fire in scheduling order (FIFO), which
+    makes whole-machine runs deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event.  Cancelling is O(1) (lazy deletion). *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at q time f] schedules [f] to run at absolute [time].  Scheduling in
+    the past raises [Invalid_argument]. *)
+
+val after : t -> Time.span -> (unit -> unit) -> handle
+(** [after q d f] = [at q (now q + d) f]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run_one : t -> bool
+(** Fire the next event, advancing the clock.  [false] if queue empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the queue.  Stops when empty, when the next event lies beyond
+    [until] (clock is then left at [until]), or after [max_events]. *)
+
+val pending_count : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val events_fired : t -> int
+(** Total events fired since creation (for stats and loop-bound tests). *)

@@ -1,0 +1,19 @@
+(** Imperative pairing heap (min-heap).
+
+    Used as the backing store of the event queue.  Amortized O(1) insert
+    and O(log n) delete-min.  Elements are ordered by the comparison
+    function supplied at creation; ties are broken by insertion order only
+    if the comparison says so (the event queue encodes a sequence number
+    in its keys for that purpose). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val insert : 'a t -> 'a -> unit
+val peek_min : 'a t -> 'a option
+val pop_min : 'a t -> 'a option
+
+val to_list_unordered : 'a t -> 'a list
+(** All elements, in unspecified order; O(n). For tests and introspection. *)

@@ -1,0 +1,32 @@
+type t = int64
+type span = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let s n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let us_f x = Int64.of_float (Float.round (x *. 1_000.))
+let add t d = Int64.add t d
+let diff later earlier = Int64.sub later earlier
+let compare = Int64.compare
+let ( <= ) a b = Int64.compare a b <= 0
+let ( < ) a b = Int64.compare a b < 0
+let ( >= ) a b = Int64.compare a b >= 0
+let ( > ) a b = Int64.compare a b > 0
+let max a b = if a >= b then a else b
+let min a b = if a <= b then a else b
+let to_us t = Int64.to_float t /. 1_000.
+let to_ms t = Int64.to_float t /. 1_000_000.
+let to_s t = Int64.to_float t /. 1_000_000_000.
+
+let pp ppf t =
+  let f = Int64.to_float t in
+  if Stdlib.( < ) f 1_000. then Format.fprintf ppf "%Ldns" t
+  else if Stdlib.( < ) f 1_000_000. then
+    Format.fprintf ppf "%.2fus" (f /. 1_000.)
+  else if Stdlib.( < ) f 1_000_000_000. then
+    Format.fprintf ppf "%.2fms" (f /. 1_000_000.)
+  else Format.fprintf ppf "%.3fs" (f /. 1_000_000_000.)
+
+let pp_us ppf t = Format.fprintf ppf "%.2fus" (to_us t)

@@ -1,0 +1,45 @@
+(** Simulated time.
+
+    Time is an absolute instant measured in integer nanoseconds since
+    simulation boot; [span] is a (non-negative, unless stated otherwise)
+    duration in nanoseconds.  Nanosecond granularity leaves ample headroom
+    for the microsecond-scale costs of the 1991 cost model while keeping
+    arithmetic exact. *)
+
+type t = int64
+(** An absolute instant, in nanoseconds since boot. *)
+
+type span = int64
+(** A duration, in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val s : int -> span
+
+val us_f : float -> span
+(** [us_f x] is [x] microseconds rounded to the nearest nanosecond. *)
+
+val add : t -> span -> t
+val diff : t -> t -> span
+(** [diff later earlier] is [later - earlier]. *)
+
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with an adaptive unit (ns/µs/ms/s). *)
+
+val pp_us : Format.formatter -> t -> unit
+(** Pretty-prints as microseconds with two decimals. *)

@@ -1,0 +1,54 @@
+type record = { time : Time.t; tag : string; msg : string }
+
+type t = {
+  buf : record option array;
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 65536) () =
+  { buf = Array.make capacity None; head = 0; len = 0; dropped = 0;
+    enabled = true }
+
+let emit t ~time ~tag msg =
+  if t.enabled then begin
+    let cap = Array.length t.buf in
+    if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+    t.buf.(t.head) <- Some { time; tag; msg };
+    t.head <- (t.head + 1) mod cap
+  end
+
+let emitf t ~time ~tag fmt =
+  Format.kasprintf (fun msg -> emit t ~time ~tag msg) fmt
+
+let records t =
+  let cap = Array.length t.buf in
+  let start = (t.head - t.len + cap) mod cap in
+  let rec go i acc =
+    if i = t.len then List.rev acc
+    else
+      match t.buf.((start + i) mod cap) with
+      | None -> go (i + 1) acc
+      | Some r -> go (i + 1) (r :: acc)
+  in
+  go 0 []
+
+let find t ~tag = List.filter (fun r -> r.tag = tag) (records t)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let dropped t = t.dropped
+
+let pp ppf t =
+  List.iter
+    (fun r -> Format.fprintf ppf "[%a] %-12s %s@." Time.pp r.time r.tag r.msg)
+    (records t)
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b

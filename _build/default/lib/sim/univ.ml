@@ -1,0 +1,19 @@
+(* The standard existential-by-extensible-variant encoding: each key adds
+   a constructor carrying 'a, plus a projection that only matches its own
+   constructor. *)
+
+type t = exn
+
+type 'a key = { pack : 'a -> exn; unpack : exn -> 'a option }
+
+let key (type a) () : a key =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    pack = (fun x -> M.E x);
+    unpack = (function M.E x -> Some x | _ -> None);
+  }
+
+let pack k v = k.pack v
+let unpack k u = k.unpack u

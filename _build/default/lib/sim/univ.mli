@@ -1,0 +1,11 @@
+(** Universal type with typed keys.
+
+    Lets lower layers (shared-memory segments, LWP annotation slots) store
+    values whose types are defined by higher layers, without [Obj]. *)
+
+type t
+type 'a key
+
+val key : unit -> 'a key
+val pack : 'a key -> 'a -> t
+val unpack : 'a key -> t -> 'a option

@@ -1,0 +1,1 @@
+lib/workloads/array_compute.ml: Format List Sunos_kernel Sunos_sim Sunos_threads

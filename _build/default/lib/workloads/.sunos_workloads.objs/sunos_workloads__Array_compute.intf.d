@@ -1,0 +1,1 @@
+lib/workloads/array_compute.mli: Format Sunos_hw Sunos_sim

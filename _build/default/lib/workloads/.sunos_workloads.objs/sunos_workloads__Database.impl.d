@@ -1,0 +1,1 @@
+lib/workloads/database.ml: Array Format Int64 List Printf String Sunos_hw Sunos_kernel Sunos_sim Sunos_threads

@@ -1,0 +1,1 @@
+lib/workloads/database.mli: Format Sunos_hw Sunos_sim

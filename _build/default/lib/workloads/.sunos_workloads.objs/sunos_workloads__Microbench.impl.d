@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: List Sunos_hw Sunos_kernel Sunos_sim Sunos_threads

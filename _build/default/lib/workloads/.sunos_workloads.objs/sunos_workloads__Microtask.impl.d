@@ -1,0 +1,1 @@
+lib/workloads/microtask.ml: Array Format List Sunos_kernel Sunos_sim Sunos_threads

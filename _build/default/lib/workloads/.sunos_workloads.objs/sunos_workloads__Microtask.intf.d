@@ -1,0 +1,1 @@
+lib/workloads/microtask.mli: Format Sunos_hw Sunos_sim

@@ -1,0 +1,1 @@
+lib/workloads/net_server.ml: Format Hashtbl List Printf String Sunos_baselines Sunos_hw Sunos_kernel Sunos_sim

@@ -1,0 +1,1 @@
+lib/workloads/net_server.mli: Format Sunos_baselines Sunos_hw Sunos_sim

@@ -1,0 +1,1 @@
+lib/workloads/window_system.ml: Array Format Int64 List Printf String Sunos_baselines Sunos_hw Sunos_kernel Sunos_sim

@@ -1,0 +1,1 @@
+lib/workloads/window_system.mli: Format Sunos_baselines Sunos_hw Sunos_sim

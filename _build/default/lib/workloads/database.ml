@@ -1,0 +1,142 @@
+module Time = Sunos_sim.Time
+module Hist = Sunos_sim.Stats.Hist
+module Rng = Sunos_sim.Rng
+module Shm = Sunos_hw.Shared_memory
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Fs = Sunos_kernel.Fs
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+module Mutex = Sunos_threads.Mutex
+module Syncvar = Sunos_threads.Syncvar
+
+type params = {
+  processes : int;
+  threads_per_process : int;
+  records : int;
+  transactions_per_thread : int;
+  compute_us : int;
+  io_every : int;
+  start_cold : bool;
+  seed : int64;
+}
+
+let default_params =
+  {
+    processes = 2;
+    threads_per_process = 8;
+    records = 32;
+    transactions_per_thread = 25;
+    compute_us = 300;
+    io_every = 10;
+    start_cold = true;
+    seed = 23L;
+  }
+
+type results = {
+  committed : int;
+  makespan : Sunos_sim.Time.span;
+  throughput_tps : float;
+  latency : Hist.t;
+  majflt : int;
+}
+
+let record_size = 512
+let db_path = "/db/records"
+
+(* A record's lock lives at the start of the record, inside the mapped
+   file — Figure 1 of the paper, literally. *)
+let lock_offset r = r * record_size
+
+let run ?(cpus = 2) ?cost p =
+  let k = Kernel.boot ~cpus ?cost () in
+  Kernel.set_tracing k false;
+  (* create and populate the database file *)
+  (match Fs.create_file (Kernel.fs k) ~path:db_path () with
+  | Ok f ->
+      ignore (Fs.write f ~pos:0 (String.make (p.records * record_size) 'd'));
+      if p.start_cold then
+        (* reads hit the disk until the page cache warms *)
+        Shm.evict_all (Fs.segment f)
+      else
+        let seg = Fs.segment f in
+        for page = 0 to Shm.page_count seg - 1 do
+          Shm.make_resident seg ~page
+        done
+  | Error _ -> invalid_arg "Database.run: setup failed");
+  let committed = ref 0 in
+  let latency = Hist.create "txn latency" in
+  let makespan = ref Time.zero in
+  let server id () =
+    (* size the pool so worker threads run concurrently from the start
+       (otherwise a CPU-bound worker monopolizes the single LWP until
+       its first kernel block) *)
+    T.setconcurrency (min p.threads_per_process 4);
+    let rng = Rng.create ~seed:(Int64.add p.seed (Int64.of_int id)) in
+    let fd = Uctx.open_file db_path in
+    let seg = Uctx.mmap fd in
+    let locks =
+      Array.init p.records (fun r ->
+          Mutex.create_shared (Syncvar.place seg ~offset:(lock_offset r)))
+    in
+    let worker wid () =
+      let rng = Rng.split rng in
+      ignore wid;
+      for txn = 1 to p.transactions_per_thread do
+        let r = Rng.int rng p.records in
+        let t0 = Uctx.gettime () in
+        Mutex.enter locks.(r);
+        if txn mod p.io_every = 0 then begin
+          (* cold read: evict then read so the disk path is exercised *)
+          Shm.evict seg ~page:(Shm.page_of_offset ~offset:(lock_offset r));
+          Uctx.lseek fd (lock_offset r);
+          ignore (Uctx.read fd ~len:record_size)
+        end
+        else begin
+          Uctx.lseek fd (lock_offset r);
+          ignore (Uctx.read fd ~len:record_size)
+        end;
+        Uctx.charge_us p.compute_us;
+        Uctx.lseek fd (lock_offset r);
+        ignore (Uctx.write fd (String.make 32 'w'));
+        Mutex.exit locks.(r);
+        Hist.add latency (Time.diff (Uctx.gettime ()) t0);
+        incr committed
+      done
+    in
+    let ts =
+      List.init p.threads_per_process (fun w ->
+          T.create ~flags:[ T.THREAD_WAIT ] (worker w))
+    in
+    List.iter (fun t -> ignore (T.wait ~thread:t ())) ts;
+    makespan := Time.max !makespan (Uctx.gettime ())
+  in
+  for id = 1 to p.processes do
+    ignore
+      (Kernel.spawn k
+         ~name:(Printf.sprintf "dbserver%d" id)
+         ~main:(Libthread.boot (server id)))
+  done;
+  Kernel.run k;
+  let majflt =
+    List.fold_left
+      (fun acc pi -> acc + pi.Sunos_kernel.Procfs.pi_majflt)
+      0
+      (Sunos_kernel.Procfs.snapshot k)
+  in
+  {
+    committed = !committed;
+    makespan = !makespan;
+    throughput_tps =
+      (if Time.(!makespan > 0L) then
+         float_of_int !committed /. Time.to_s !makespan
+       else 0.);
+    latency;
+    majflt;
+  }
+
+let pp_results ppf r =
+  Format.fprintf ppf
+    "committed=%d makespan=%a throughput=%.0f txn/s majflt=%d latency: %a"
+    r.committed Time.pp r.makespan r.throughput_tps r.majflt Hist.pp_summary
+    r.latency

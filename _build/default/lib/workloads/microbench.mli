@@ -1,0 +1,23 @@
+(** The paper's measurement microbenchmarks (Figures 5 and 6) as reusable
+    measurements, so the benchmark harness prints them and the test suite
+    asserts their shape.
+
+    All results are simulated microseconds on the machine's cost model. *)
+
+type creation = { unbound_us : float; bound_us : float }
+
+val creation : ?cost:Sunos_hw.Cost_model.t -> unit -> creation
+(** Figure 5: mean creation time with cached default stacks, no first
+    context switch; bound creation includes the LWP. *)
+
+type sync = {
+  setjmp_us : float;  (** the baseline row (a cost-model constant) *)
+  unbound_us : float;
+  bound_us : float;
+  cross_process_us : float;
+}
+
+val sync : ?cost:Sunos_hw.Cost_model.t -> unit -> sync
+(** Figure 6: semaphore ping-pong, per-synchronization time (total /
+    2 / rounds): unbound pair, bound pair, and two processes through a
+    mapped file. *)

@@ -1,0 +1,129 @@
+module Time = Sunos_sim.Time
+module Hist = Sunos_sim.Stats.Hist
+module Rng = Sunos_sim.Rng
+module Eventq = Sunos_sim.Eventq
+module Shm = Sunos_hw.Shared_memory
+module Machine = Sunos_hw.Machine
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Fs = Sunos_kernel.Fs
+module Netchan = Sunos_kernel.Netchan
+
+type params = {
+  requests : int;
+  mean_interarrival_us : int;
+  parse_compute_us : int;
+  reply_compute_us : int;
+  disk_every : int;
+  seed : int64;
+}
+
+let default_params =
+  {
+    requests = 200;
+    mean_interarrival_us = 2_000;
+    parse_compute_us = 150;
+    reply_compute_us = 100;
+    disk_every = 4;
+    seed = 31L;
+  }
+
+type results = {
+  served : int;
+  latency : Hist.t;
+  makespan : Time.span;
+  throughput_rps : float;
+  lwps_created : int;
+}
+
+let data_path = "/srv/data"
+
+let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
+  let k = Kernel.boot ~cpus ?cost () in
+  Kernel.set_tracing k false;
+  (match Fs.create_file (Kernel.fs k) ~path:data_path () with
+  | Ok f ->
+      ignore (Fs.write f ~pos:0 (String.make 65536 's'));
+      Shm.evict_all (Fs.segment f)
+  | Error _ -> invalid_arg "Net_server.run: setup failed");
+  let chan = Netchan.create ~name:"service" in
+  let latency = Hist.create "request latency" in
+  let served = ref 0 and makespan = ref Time.zero in
+  let inject_times = Hashtbl.create 64 in
+  let app () =
+    let fd = Uctx.open_net chan in
+    let data_fd = Uctx.open_file data_path in
+    let file =
+      match Fs.lookup (Kernel.fs k) data_path with
+      | Some f -> f
+      | None -> assert false
+    in
+    let handle reqno () =
+      Uctx.charge_us p.parse_compute_us;
+      if reqno mod p.disk_every = 0 then begin
+        (* cold read: evict the page first so the disk path is real *)
+        let off = reqno * 512 mod 65536 in
+        Shm.evict (Fs.segment file) ~page:(Shm.page_of_offset ~offset:off);
+        Uctx.lseek data_fd off;
+        ignore (Uctx.read data_fd ~len:512)
+      end
+      else begin
+        Uctx.lseek data_fd (reqno * 512 mod 65536);
+        ignore (Uctx.read data_fd ~len:512)
+      end;
+      Uctx.charge_us p.reply_compute_us;
+      ignore (Uctx.write fd (Printf.sprintf "done:%d" reqno));
+      (match Hashtbl.find_opt inject_times reqno with
+      | Some t0 -> Hist.add latency (Time.diff (Uctx.gettime ()) t0)
+      | None -> ());
+      incr served
+    in
+    let rec dispatch workers remaining =
+      if remaining = 0 then workers
+      else
+        let msg = Uctx.read fd ~len:64 in
+        match int_of_string_opt msg with
+        | Some reqno ->
+            let t = M.spawn (handle reqno) in
+            dispatch (t :: workers) (remaining - 1)
+        | None -> dispatch workers remaining
+    in
+    let workers = dispatch [] p.requests in
+    List.iter M.join workers;
+    makespan := Uctx.gettime ()
+  in
+  ignore (Kernel.spawn k ~name:"server" ~main:(M.boot ?cost app));
+  let rng = Rng.create ~seed:p.seed in
+  let eventq = (Kernel.machine k).Machine.eventq in
+  let rec inject n at =
+    if n <= p.requests then
+      ignore
+        (Eventq.at eventq at (fun () ->
+             Hashtbl.replace inject_times n (Eventq.now eventq);
+             Netchan.inject chan
+               { Netchan.payload = string_of_int n; reply_to = ignore };
+             let gap =
+               Time.us_f
+                 (Rng.exponential rng
+                    ~mean:(float_of_int p.mean_interarrival_us))
+             in
+             inject (n + 1) (Time.add (Eventq.now eventq) gap)))
+  in
+  inject 1 (Time.us 1);
+  Kernel.run k;
+  {
+    served = !served;
+    latency;
+    makespan = !makespan;
+    throughput_rps =
+      (if Time.(!makespan > 0L) then
+         float_of_int !served /. Time.to_s !makespan
+       else 0.);
+    lwps_created = Kernel.lwp_create_count k;
+  }
+
+let pp_results ppf r =
+  Format.fprintf ppf
+    "served=%d makespan=%a throughput=%.0f req/s lwps=%d latency: %a" r.served
+    Time.pp r.makespan r.throughput_rps r.lwps_created Hist.pp_summary
+    r.latency

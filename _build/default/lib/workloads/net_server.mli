@@ -1,0 +1,39 @@
+(** The network-server workload from the paper's introduction: requests
+    arrive over the network; serving one may require file I/O (and, in
+    the paper's words, the server "may indirectly need its own service —
+    and therefore another thread of control").
+
+    A dispatcher thread reads the wire and hands each request to a fresh
+    thread, which parses (CPU), reads a file (disk when cold), and
+    replies.  Runs on any {!Sunos_baselines.Model.S}: the M:N model gives
+    cheap per-request threads whose disk waits block only an LWP; the
+    user-level-only model stalls the whole server on every cold read;
+    the 1:1 model pays a kernel thread creation per request. *)
+
+type params = {
+  requests : int;
+  mean_interarrival_us : int;
+  parse_compute_us : int;
+  reply_compute_us : int;
+  disk_every : int;  (** every n-th request needs a cold file read *)
+  seed : int64;
+}
+
+val default_params : params
+
+type results = {
+  served : int;
+  latency : Sunos_sim.Stats.Hist.t;
+  makespan : Sunos_sim.Time.span;
+  throughput_rps : float;
+  lwps_created : int;
+}
+
+val run :
+  (module Sunos_baselines.Model.S) ->
+  ?cpus:int ->
+  ?cost:Sunos_hw.Cost_model.t ->
+  params ->
+  results
+
+val pp_results : Format.formatter -> results -> unit

@@ -1,0 +1,153 @@
+module Time = Sunos_sim.Time
+module Hist = Sunos_sim.Stats.Hist
+module Rng = Sunos_sim.Rng
+module Eventq = Sunos_sim.Eventq
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Netchan = Sunos_kernel.Netchan
+module Machine = Sunos_hw.Machine
+
+type params = {
+  widgets : int;
+  events : int;
+  input_compute_us : int;
+  render_compute_us : int;
+  mean_interarrival_us : int;
+  seed : int64;
+}
+
+let default_params =
+  {
+    widgets = 100;
+    events = 500;
+    input_compute_us = 120;
+    render_compute_us = 250;
+    mean_interarrival_us = 1500;
+    seed = 11L;
+  }
+
+type results = {
+  handled : int;
+  latency : Hist.t;
+  makespan : Time.span;
+  lwps_created : int;
+  threads_created : int;
+}
+
+(* One widget = an input handler and an output handler, coupled by a
+   semaphore pair and a mailbox of pending event timestamps. *)
+let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
+  let k = Kernel.boot ~cpus ?cost () in
+  Kernel.set_tracing k false;
+  let chan = Netchan.create ~name:"xwire" in
+  let latency = Hist.create "event latency" in
+  let handled = ref 0 in
+  let threads_created = ref 0 in
+  let makespan = ref Time.zero in
+  let app () =
+    let fd = Uctx.open_net chan in
+    (* per-widget plumbing *)
+    let in_sem = Array.init p.widgets (fun _ -> M.Sem.create 0) in
+    let out_sem = Array.init p.widgets (fun _ -> M.Sem.create 0) in
+    let in_box = Array.make p.widgets [] in
+    let out_box = Array.make p.widgets [] in
+    let input_handler w () =
+      let rec loop () =
+        M.Sem.p in_sem.(w);
+        match in_box.(w) with
+        | [] ->
+            (* shutdown: forward it down the pipeline so the output
+               handler drains every forwarded event first *)
+            M.Sem.v out_sem.(w)
+        | stamp :: rest ->
+            in_box.(w) <- rest;
+            Uctx.charge_us p.input_compute_us;
+            out_box.(w) <- out_box.(w) @ [ stamp ];
+            M.Sem.v out_sem.(w);
+            loop ()
+      in
+      loop ()
+    in
+    let output_handler w () =
+      let rec loop () =
+        M.Sem.p out_sem.(w);
+        match out_box.(w) with
+        | [] -> ()
+        | stamp :: rest ->
+            out_box.(w) <- rest;
+            Uctx.charge_us p.render_compute_us;
+            Hist.add latency (Time.diff (Uctx.gettime ()) stamp);
+            incr handled;
+            loop ()
+      in
+      loop ()
+    in
+    let handlers =
+      List.concat_map
+        (fun w ->
+          [ M.spawn (input_handler w); M.spawn (output_handler w) ])
+        (List.init p.widgets (fun w -> w))
+    in
+    threads_created := (2 * p.widgets) + 1;
+    (* the wire reader: demultiplex events to widgets *)
+    let rec serve remaining =
+      if remaining > 0 then begin
+        let msg = Uctx.read fd ~len:64 in
+        (* "widget stamp": latency is measured from injection time *)
+        match String.split_on_char ' ' msg with
+        | [ ws; ts ] -> (
+            match (int_of_string_opt ws, Int64.of_string_opt ts) with
+            | Some w, Some stamp when w >= 0 && w < p.widgets ->
+                in_box.(w) <- in_box.(w) @ [ stamp ];
+                M.Sem.v in_sem.(w);
+                serve (remaining - 1)
+            | _ -> serve remaining)
+        | _ -> serve remaining
+      end
+    in
+    serve p.events;
+    (* drain: an empty-box wakeup is the shutdown token; it propagates
+       through each widget's pipeline *)
+    for w = 0 to p.widgets - 1 do
+      M.Sem.v in_sem.(w)
+    done;
+    List.iter M.join handlers;
+    makespan := Uctx.gettime ()
+  in
+  ignore (Kernel.spawn k ~name:"windows" ~main:(M.boot ?cost app));
+  (* event injection: Poisson arrivals addressed to random widgets *)
+  let rng = Rng.create ~seed:p.seed in
+  let eventq = (Kernel.machine k).Machine.eventq in
+  let rec inject n at =
+    if n > 0 then
+      ignore
+        (Eventq.at eventq at (fun () ->
+             Netchan.inject chan
+               {
+                 Netchan.payload =
+                   Printf.sprintf "%d %Ld" (Rng.int rng p.widgets)
+                     (Eventq.now eventq);
+                 reply_to = ignore;
+               };
+             let gap =
+               Time.us_f
+                 (Rng.exponential rng
+                    ~mean:(float_of_int p.mean_interarrival_us))
+             in
+             inject (n - 1) (Time.add (Eventq.now eventq) gap)))
+  in
+  inject p.events (Time.us 1);
+  Kernel.run k;
+  {
+    handled = !handled;
+    latency;
+    makespan = !makespan;
+    lwps_created = Kernel.lwp_create_count k;
+    threads_created = !threads_created;
+  }
+
+let pp_results ppf r =
+  Format.fprintf ppf
+    "handled=%d threads=%d lwps=%d makespan=%a latency: %a" r.handled
+    r.threads_created r.lwps_created Time.pp r.makespan Hist.pp_summary
+    r.latency

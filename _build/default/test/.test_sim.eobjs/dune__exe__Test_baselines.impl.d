@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Sunos_baselines Sunos_hw Sunos_kernel Sunos_sim Sunos_threads

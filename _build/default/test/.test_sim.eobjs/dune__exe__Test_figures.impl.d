@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Float Printf Sunos_hw Sunos_workloads

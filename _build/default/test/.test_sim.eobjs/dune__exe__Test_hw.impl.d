@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Fmt Int64 List Sunos_hw Sunos_sim

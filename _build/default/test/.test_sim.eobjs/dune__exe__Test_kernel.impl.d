@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Fmt Int64 List String Sunos_hw Sunos_kernel Sunos_sim

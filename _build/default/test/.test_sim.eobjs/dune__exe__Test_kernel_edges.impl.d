@@ -1,0 +1,1 @@
+test/test_kernel_edges.ml: Alcotest Format List Printf String Sunos_hw Sunos_kernel Sunos_sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Int64 List QCheck QCheck_alcotest Queue Sunos_kernel Sunos_pthread Sunos_sim Sunos_threads

@@ -1,0 +1,1 @@
+test/test_pthread.ml: Alcotest List Sunos_kernel Sunos_pthread Sunos_sim Sunos_threads

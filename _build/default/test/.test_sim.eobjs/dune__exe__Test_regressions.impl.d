@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array List Sunos_baselines Sunos_hw Sunos_kernel Sunos_sim Sunos_threads Sunos_workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Fmt Format Int64 List QCheck QCheck_alcotest Sunos_sim

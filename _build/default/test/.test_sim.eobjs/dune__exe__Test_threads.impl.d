@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest List Queue Sunos_kernel Sunos_sim Sunos_threads

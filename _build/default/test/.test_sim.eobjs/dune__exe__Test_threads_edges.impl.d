@@ -1,0 +1,1 @@
+test/test_threads_edges.ml: Alcotest List Printf Sunos_kernel Sunos_sim Sunos_threads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Sunos_baselines Sunos_sim Sunos_workloads

@@ -1,0 +1,259 @@
+(* Tests of the comparison thread models and the debugging lock variant. *)
+
+module Time = Sunos_sim.Time
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Libthread = Sunos_threads.Libthread
+module Lockdebug = Sunos_threads.Lockdebug
+module Model = Sunos_baselines.Model
+
+let run_on (module M : Model.S) ?(cpus = 1) main =
+  let k = Kernel.boot ~cpus () in
+  ignore (Kernel.spawn k ~name:M.name ~main:(M.boot main));
+  Kernel.run k;
+  k
+
+(* Every model must pass the same functional contract. *)
+let contract (module M : Model.S) () =
+  let counter = ref 0 and pingpong = ref 0 in
+  ignore
+    (run_on
+       (module M)
+       ~cpus:2
+       (fun () ->
+         (* spawn/join + mutex exclusion *)
+         let mu = M.Mu.create () in
+         let ts =
+           List.init 4 (fun _ ->
+               M.spawn (fun () ->
+                   for _ = 1 to 10 do
+                     M.Mu.lock mu;
+                     incr counter;
+                     M.Mu.unlock mu
+                   done))
+         in
+         List.iter M.join ts;
+         (* semaphore ping-pong *)
+         let s1 = M.Sem.create 0 and s2 = M.Sem.create 0 in
+         let t =
+           M.spawn (fun () ->
+               for _ = 1 to 5 do
+                 M.Sem.p s2;
+                 M.Sem.v s1
+               done)
+         in
+         for _ = 1 to 5 do
+           M.Sem.v s2;
+           M.Sem.p s1;
+           incr pingpong
+         done;
+         M.join t));
+  Alcotest.(check int) (M.name ^ ": counter") 40 !counter;
+  Alcotest.(check int) (M.name ^ ": pingpong") 5 !pingpong
+
+let test_liblwp_single_lwp () =
+  let k =
+    run_on
+      (module Sunos_baselines.Liblwp)
+      (fun () ->
+        let module M = Sunos_baselines.Liblwp in
+        let ts = List.init 10 (fun _ -> M.spawn (fun () -> M.yield ())) in
+        List.iter M.join ts)
+  in
+  Alcotest.(check int) "exactly one LWP ever" 1 (Kernel.lwp_create_count k)
+
+let test_liblwp_blocking_stalls_process () =
+  (* the 4.0 pathology: a blocking read stops every coroutine *)
+  let progressed_during_block = ref false and woke = ref false in
+  let k = Kernel.boot ~cpus:2 () in
+  ignore
+    (Kernel.spawn k ~name:"liblwp"
+       ~main:
+         (Sunos_baselines.Liblwp.boot (fun () ->
+              let module M = Sunos_baselines.Liblwp in
+              let rfd, wfd = Uctx.pipe () in
+              ignore wfd;
+              let bg =
+                M.spawn (fun () ->
+                    (* should run while the reader blocks — but cannot *)
+                    progressed_during_block := true)
+              in
+              ignore bg;
+              (* read before the helper ever ran: blocks the only LWP *)
+              let _ = Uctx.read rfd ~len:4 in
+              woke := true)));
+  (* data arrives from outside after a while *)
+  ignore
+    (Sunos_sim.Eventq.after (Kernel.machine k).Sunos_hw.Machine.eventq
+       (Time.ms 50) (fun () -> ()));
+  Kernel.run ~until:(Time.ms 100) k;
+  Alcotest.(check bool) "whole process stalled" false !progressed_during_block;
+  Alcotest.(check bool) "reader still blocked" false !woke
+
+let test_liblwp_mitigated_read () =
+  (* the era's non-blocking I/O wrapper keeps coroutines running *)
+  let progressed = ref false and got = ref "" in
+  let k = Kernel.boot ~cpus:1 () in
+  ignore
+    (Kernel.spawn k ~name:"liblwp"
+       ~main:
+         (Sunos_baselines.Liblwp.boot (fun () ->
+              let module M = Sunos_baselines.Liblwp in
+              let rfd, wfd = Uctx.pipe () in
+              let bg =
+                M.spawn (fun () ->
+                    progressed := true;
+                    Uctx.sleep (Time.ms 5);
+                    ignore (Uctx.write wfd "data"))
+              in
+              got := Sunos_baselines.Liblwp.read_mitigated rfd ~len:16;
+              M.join bg)));
+  Kernel.run k;
+  Alcotest.(check bool) "coroutine ran during wait" true !progressed;
+  Alcotest.(check string) "read completed" "data" !got
+
+let test_cthreads_one_lwp_per_thread () =
+  let k =
+    run_on
+      (module Sunos_baselines.Cthreads)
+      ~cpus:2
+      (fun () ->
+        let module M = Sunos_baselines.Cthreads in
+        let ts = List.init 5 (fun _ -> M.spawn (fun () -> Uctx.charge_us 50)) in
+        List.iter M.join ts)
+  in
+  (* initial LWP + one per thread *)
+  Alcotest.(check int) "1:1 LWP count" 6 (Kernel.lwp_create_count k)
+
+let test_activations_overlap_io () =
+  (* with per-block upcalls, compute continues across a kernel wait even
+     with no SIGWAITING-style growth *)
+  let computed = ref false in
+  let k = Kernel.boot ~cpus:2 () in
+  ignore
+    (Kernel.spawn k ~name:"act"
+       ~main:
+         (Sunos_baselines.Activations.boot (fun () ->
+              let module M = Sunos_baselines.Activations in
+              let t = M.spawn (fun () -> computed := true) in
+              (* block before the helper runs: the upcall must hand the
+                 pool a context *)
+              Uctx.sleep (Time.ms 10);
+              M.join t)));
+  Kernel.run ~until:(Time.ms 5) k;
+  Alcotest.(check bool) "helper ran during the sleep" true !computed;
+  Kernel.run k
+
+(* ------------------------- Lockdebug ------------------------- *)
+
+let run_mt main =
+  let k = Kernel.boot () in
+  ignore (Kernel.spawn k ~name:"dbg" ~main:(Libthread.boot main));
+  Kernel.run k;
+  k
+
+let test_lockdebug_self_deadlock () =
+  let caught = ref false in
+  ignore
+    (run_mt (fun () ->
+         Lockdebug.reset_order_graph ();
+         let m = Lockdebug.create ~name:"m" in
+         Lockdebug.enter m;
+         (try Lockdebug.enter m
+          with Lockdebug.Self_deadlock _ -> caught := true);
+         Lockdebug.exit m));
+  Alcotest.(check bool) "self deadlock detected" true !caught
+
+let test_lockdebug_order_violation () =
+  let caught = ref None in
+  ignore
+    (run_mt (fun () ->
+         Lockdebug.reset_order_graph ();
+         let a = Lockdebug.create ~name:"A" in
+         let b = Lockdebug.create ~name:"B" in
+         (* record A -> B *)
+         Lockdebug.enter a;
+         Lockdebug.enter b;
+         Lockdebug.exit b;
+         Lockdebug.exit a;
+         (* now B -> A must trip *)
+         Lockdebug.enter b;
+         (try Lockdebug.enter a
+          with Lockdebug.Lock_order_violation (h, w) -> caught := Some (h, w));
+         Lockdebug.exit b));
+  Alcotest.(check (option (pair string string))) "ABBA flagged"
+    (Some ("B", "A")) !caught
+
+let test_lockdebug_stats () =
+  ignore
+    (run_mt (fun () ->
+         Lockdebug.reset_order_graph ();
+         let module T = Sunos_threads.Thread in
+         let m = Lockdebug.create ~name:"stats" in
+         let t =
+           T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+               Lockdebug.enter m;
+               Uctx.charge_us 500;
+               Lockdebug.exit m)
+         in
+         Lockdebug.enter m;
+         T.yield ();
+         Uctx.charge_us 100;
+         Lockdebug.exit m;
+         ignore (T.wait ~thread:t ());
+         Alcotest.(check int) "acquisitions" 2 (Lockdebug.acquisitions m);
+         Alcotest.(check bool) "contended once" true
+           (Lockdebug.contentions m >= 1);
+         Alcotest.(check bool) "max hold >= 500us" true
+           Time.(Lockdebug.max_hold m >= Time.us 500)))
+
+let test_lockdebug_consistent_order_ok () =
+  ignore
+    (run_mt (fun () ->
+         Lockdebug.reset_order_graph ();
+         let a = Lockdebug.create ~name:"A" in
+         let b = Lockdebug.create ~name:"B" in
+         for _ = 1 to 3 do
+           Lockdebug.enter a;
+           Lockdebug.enter b;
+           Lockdebug.exit b;
+           Lockdebug.exit a
+         done
+         (* same order every time: no exception *)))
+
+let () =
+  let model_cases =
+    List.map
+      (fun (module M : Model.S) ->
+        Alcotest.test_case ("contract: " ^ M.name) `Quick (contract (module M)))
+      Model.all
+  in
+  Alcotest.run "sunos_baselines"
+    [
+      ("contract", model_cases);
+      ( "liblwp",
+        [
+          Alcotest.test_case "single LWP" `Quick test_liblwp_single_lwp;
+          Alcotest.test_case "blocking stalls process" `Quick
+            test_liblwp_blocking_stalls_process;
+          Alcotest.test_case "mitigated read" `Quick test_liblwp_mitigated_read;
+        ] );
+      ( "cthreads",
+        [
+          Alcotest.test_case "one LWP per thread" `Quick
+            test_cthreads_one_lwp_per_thread;
+        ] );
+      ( "activations",
+        [
+          Alcotest.test_case "overlaps I/O" `Quick test_activations_overlap_io;
+        ] );
+      ( "lockdebug",
+        [
+          Alcotest.test_case "self deadlock" `Quick test_lockdebug_self_deadlock;
+          Alcotest.test_case "order violation" `Quick
+            test_lockdebug_order_violation;
+          Alcotest.test_case "stats" `Quick test_lockdebug_stats;
+          Alcotest.test_case "consistent order ok" `Quick
+            test_lockdebug_consistent_order_ok;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+(* Acceptance tests for the paper's measured figures: the *shape* of
+   Figures 5 and 6 must hold — who wins, by roughly what factor — with
+   generous tolerances so legitimate cost-model adjustments don't break
+   the build, while regressions that flip an ordering do. *)
+
+module MB = Sunos_workloads.Microbench
+
+let within ~tol expected actual =
+  Float.abs (actual -. expected) <= tol *. expected
+
+let test_figure5_shape () =
+  let r = MB.creation () in
+  (* paper: 56us unbound, 2327us bound, ratio 42 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "unbound create ~56us (got %.0f)" r.MB.unbound_us)
+    true
+    (within ~tol:0.25 56. r.MB.unbound_us);
+  Alcotest.(check bool)
+    (Printf.sprintf "bound create ~2327us (got %.0f)" r.MB.bound_us)
+    true
+    (within ~tol:0.25 2327. r.MB.bound_us);
+  let ratio = r.MB.bound_us /. r.MB.unbound_us in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio ~42 (got %.1f)" ratio)
+    true
+    (ratio > 20. && ratio < 80.)
+
+let test_figure6_shape () =
+  let r = MB.sync () in
+  (* paper: 59 / 158 / 348 / 301 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "setjmp baseline 59us (got %.0f)" r.MB.setjmp_us)
+    true
+    (within ~tol:0.05 59. r.MB.setjmp_us);
+  Alcotest.(check bool)
+    (Printf.sprintf "unbound sync ~158us (got %.0f)" r.MB.unbound_us)
+    true
+    (within ~tol:0.25 158. r.MB.unbound_us);
+  Alcotest.(check bool)
+    (Printf.sprintf "bound sync ~348us (got %.0f)" r.MB.bound_us)
+    true
+    (within ~tol:0.25 348. r.MB.bound_us);
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-process ~301us (got %.0f)" r.MB.cross_process_us)
+    true
+    (within ~tol:0.25 301. r.MB.cross_process_us);
+  (* the orderings the paper's discussion relies on *)
+  Alcotest.(check bool) "setjmp < unbound" true
+    (r.MB.setjmp_us < r.MB.unbound_us);
+  Alcotest.(check bool) "unbound < cross-process" true
+    (r.MB.unbound_us < r.MB.cross_process_us);
+  Alcotest.(check bool) "cross-process < bound (paper ratio .86)" true
+    (r.MB.cross_process_us < r.MB.bound_us)
+
+let test_scaling_cost_model_scales_results () =
+  (* a 2x-slower machine should produce ~2x the times: the aggregates
+     really do emerge from the component model *)
+  let slow = Sunos_hw.Cost_model.scale 2.0 Sunos_hw.Cost_model.default in
+  let base = MB.creation () in
+  let scaled = MB.creation ~cost:slow () in
+  Alcotest.(check bool) "unbound scales ~2x" true
+    (within ~tol:0.15 (2. *. base.MB.unbound_us) scaled.MB.unbound_us);
+  Alcotest.(check bool) "bound scales ~2x" true
+    (within ~tol:0.15 (2. *. base.MB.bound_us) scaled.MB.bound_us)
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "paper_shapes",
+        [
+          Alcotest.test_case "figure 5" `Quick test_figure5_shape;
+          Alcotest.test_case "figure 6" `Quick test_figure6_shape;
+          Alcotest.test_case "cost-model scaling" `Quick
+            test_scaling_cost_model_scales_results;
+        ] );
+    ]

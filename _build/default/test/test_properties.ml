@@ -1,0 +1,461 @@
+(* Property-based tests (qcheck): invariants of the synchronization
+   primitives under randomized schedules, and algebraic properties of the
+   small data structures.  Each simulated scenario derives its shape from
+   the qcheck-generated seed, so hundreds of distinct interleavings are
+   explored per run. *)
+
+module Time = Sunos_sim.Time
+module Rng = Sunos_sim.Rng
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Sigset = Sunos_kernel.Sigset
+module Signo = Sunos_kernel.Signo
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+module Mutex = Sunos_threads.Mutex
+module Condvar = Sunos_threads.Condvar
+module Semaphore = Sunos_threads.Semaphore
+module Rwlock = Sunos_threads.Rwlock
+
+let qt = QCheck_alcotest.to_alcotest
+
+let run_app ?(cpus = 1) main =
+  let k = Kernel.boot ~cpus () in
+  Kernel.set_tracing k false;
+  ignore (Kernel.spawn k ~name:"prop" ~main:(Libthread.boot main));
+  Kernel.run k;
+  k
+
+(* ------------------------- sigset algebra ------------------------- *)
+
+let valid_signals =
+  List.filter (fun s -> s <> Signo.sigkill && s <> Signo.sigstop) Signo.all
+
+let gen_sig = QCheck.Gen.oneofl valid_signals
+let arb_sig = QCheck.make gen_sig
+let arb_sigs = QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_bound 8) gen_sig)
+
+let prop_sigset_mem_add =
+  QCheck.Test.make ~name:"sigset: mem after add" ~count:200
+    (QCheck.pair arb_sig arb_sigs)
+    (fun (s, rest) ->
+      let set = Sigset.add s (Sigset.of_list rest) in
+      Sigset.mem s set)
+
+let prop_sigset_remove =
+  QCheck.Test.make ~name:"sigset: not mem after remove" ~count:200
+    (QCheck.pair arb_sig arb_sigs)
+    (fun (s, rest) ->
+      let set = Sigset.remove s (Sigset.of_list rest) in
+      not (Sigset.mem s set))
+
+let prop_sigset_roundtrip =
+  QCheck.Test.make ~name:"sigset: of_list/to_list preserves membership"
+    ~count:200 arb_sigs
+    (fun sigs ->
+      let set = Sigset.of_list sigs in
+      List.for_all (fun s -> Sigset.mem s set) sigs
+      && List.for_all (fun s -> List.mem s sigs) (Sigset.to_list set))
+
+let prop_sigset_unmaskable =
+  QCheck.Test.make ~name:"sigset: KILL/STOP never maskable" ~count:10
+    QCheck.unit
+    (fun () ->
+      (not (Sigset.mem Signo.sigkill Sigset.full))
+      && not (Sigset.mem Signo.sigstop Sigset.full))
+
+let prop_sigset_apply =
+  QCheck.Test.make ~name:"sigset: block then unblock restores" ~count:200
+    (QCheck.pair arb_sigs arb_sigs)
+    (fun (old_sigs, delta) ->
+      let old = Sigset.of_list old_sigs in
+      let d = Sigset.of_list delta in
+      let blocked = Sigset.apply Sigset.Sig_block d ~old in
+      let restored = Sigset.apply Sigset.Sig_unblock d ~old:blocked in
+      Sigset.equal restored (Sigset.diff old d)
+      || Sigset.equal restored (Sigset.diff blocked d))
+
+(* ------------------------- mutex exclusion ------------------------- *)
+
+(* Random thread counts, iteration counts and yield patterns; the
+   invariant (never two threads inside) must hold in every schedule. *)
+let prop_mutex_exclusion =
+  QCheck.Test.make ~name:"mutex: mutual exclusion under random schedules"
+    ~count:30
+    QCheck.(triple (int_range 2 6) (int_range 1 8) (int_range 0 1000))
+    (fun (n_threads, iters, seed) ->
+      let violations = ref 0 and total = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let rng = Rng.create ~seed:(Int64.of_int seed) in
+             let m = Mutex.create () in
+             let inside = ref 0 in
+             let worker i () =
+               let rng = Rng.split rng in
+               ignore i;
+               for _ = 1 to iters do
+                 Mutex.enter m;
+                 incr inside;
+                 if !inside > 1 then incr violations;
+                 if Rng.bool rng then T.yield ();
+                 Uctx.charge_us (1 + Rng.int rng 20);
+                 incr total;
+                 decr inside;
+                 Mutex.exit m
+               done
+             in
+             let ts =
+               List.init n_threads (fun i ->
+                   T.create ~flags:[ T.THREAD_WAIT ] (worker i))
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
+      !violations = 0 && !total = n_threads * iters)
+
+let prop_mutex_variants_exclude =
+  QCheck.Test.make ~name:"mutex: every variant excludes (2 CPUs, bound)"
+    ~count:12
+    QCheck.(pair (int_range 0 2) (int_range 1 5))
+    (fun (variant_ix, iters) ->
+      let variant =
+        match variant_ix with
+        | 0 -> Mutex.Sleep
+        | 1 -> Mutex.Spin
+        | _ -> Mutex.Adaptive
+      in
+      let counter = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let m = Mutex.create ~variant () in
+             let worker () =
+               for _ = 1 to iters do
+                 Mutex.enter m;
+                 let v = !counter in
+                 Uctx.charge_us 3;
+                 counter := v + 1;
+                 Mutex.exit m
+               done
+             in
+             let ts =
+               List.init 2 (fun _ ->
+                   T.create ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ] worker)
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
+      !counter = 2 * iters)
+
+(* ------------------------- semaphore conservation ------------------ *)
+
+let prop_semaphore_conservation =
+  QCheck.Test.make ~name:"semaphore: P/V conservation" ~count:30
+    QCheck.(triple (int_range 1 5) (int_range 1 10) (int_range 0 3))
+    (fun (n_threads, rounds, initial) ->
+      let final = ref (-1) in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let s = Semaphore.create ~count:initial () in
+             (* every thread does rounds of v;p — net zero *)
+             let worker () =
+               for _ = 1 to rounds do
+                 Semaphore.v s;
+                 T.yield ();
+                 Semaphore.p s
+               done
+             in
+             let ts =
+               List.init n_threads (fun _ ->
+                   T.create ~flags:[ T.THREAD_WAIT ] worker)
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts;
+             final := Semaphore.count s));
+      !final = initial)
+
+let prop_semaphore_bounded_concurrency =
+  QCheck.Test.make ~name:"semaphore: admission never exceeds count" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 2 8))
+    (fun (permits, n_threads) ->
+      let max_in = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let s = Semaphore.create ~count:permits () in
+             let inside = ref 0 in
+             let worker () =
+               Semaphore.p s;
+               incr inside;
+               if !inside > !max_in then max_in := !inside;
+               T.yield ();
+               Uctx.charge_us 10;
+               decr inside;
+               Semaphore.v s
+             in
+             let ts =
+               List.init n_threads (fun _ ->
+                   T.create ~flags:[ T.THREAD_WAIT ] worker)
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
+      !max_in <= permits)
+
+(* ------------------------- rwlock invariant ------------------------ *)
+
+let prop_rwlock_invariant =
+  QCheck.Test.make ~name:"rwlock: readers xor writer, always" ~count:20
+    QCheck.(triple (int_range 1 4) (int_range 1 3) (int_range 0 1000))
+    (fun (n_readers, n_writers, seed) ->
+      let violations = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let rng = Rng.create ~seed:(Int64.of_int seed) in
+             let l = Rwlock.create () in
+             let readers_in = ref 0 and writer_in = ref false in
+             let reader () =
+               let rng = Rng.split rng in
+               for _ = 1 to 5 do
+                 Rwlock.enter l Rwlock.Reader;
+                 incr readers_in;
+                 if !writer_in then incr violations;
+                 if Rng.bool rng then T.yield ();
+                 decr readers_in;
+                 Rwlock.exit l
+               done
+             in
+             let writer () =
+               let rng = Rng.split rng in
+               for _ = 1 to 5 do
+                 Rwlock.enter l Rwlock.Writer;
+                 writer_in := true;
+                 if !readers_in > 0 then incr violations;
+                 if Rng.bool rng then T.yield ();
+                 writer_in := false;
+                 Rwlock.exit l
+               done
+             in
+             let ts =
+               List.init n_readers (fun _ ->
+                   T.create ~flags:[ T.THREAD_WAIT ] reader)
+               @ List.init n_writers (fun _ ->
+                     T.create ~flags:[ T.THREAD_WAIT ] writer)
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
+      !violations = 0)
+
+(* ------------------------- condvar: no lost items ------------------ *)
+
+let prop_condvar_queue =
+  QCheck.Test.make ~name:"condvar: producer/consumer conserves items"
+    ~count:20
+    QCheck.(triple (int_range 1 3) (int_range 1 3) (int_range 1 15))
+    (fun (n_prod, n_cons, per_producer) ->
+      let consumed = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let m = Mutex.create () in
+             let cv = Condvar.create () in
+             let q = Queue.create () in
+             let produced_all = ref 0 in
+             let producer () =
+               for i = 1 to per_producer do
+                 Mutex.enter m;
+                 Queue.add i q;
+                 incr produced_all;
+                 Condvar.signal cv;
+                 Mutex.exit m;
+                 T.yield ()
+               done
+             in
+             let total = n_prod * per_producer in
+             let consumer () =
+               let stop = ref false in
+               while not !stop do
+                 Mutex.enter m;
+                 while Queue.is_empty q && !consumed + Queue.length q < total
+                       && !produced_all < total do
+                   Condvar.wait cv m
+                 done;
+                 (match Queue.take_opt q with
+                 | Some _ -> incr consumed
+                 | None -> if !produced_all >= total then stop := true);
+                 Mutex.exit m
+               done;
+               (* drain leftovers *)
+               Mutex.enter m;
+               while not (Queue.is_empty q) do
+                 ignore (Queue.take q);
+                 incr consumed
+               done;
+               Mutex.exit m
+             in
+             let ps =
+               List.init n_prod (fun _ ->
+                   T.create ~flags:[ T.THREAD_WAIT ] producer)
+             in
+             let cs =
+               List.init n_cons (fun _ ->
+                   T.create ~flags:[ T.THREAD_WAIT ] consumer)
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ps;
+             (* wake any consumer still parked *)
+             Mutex.enter m;
+             Condvar.broadcast cv;
+             Mutex.exit m;
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) cs));
+      !consumed = n_prod * per_producer)
+
+(* ------------------------- determinism ------------------------- *)
+
+let prop_simulation_deterministic =
+  QCheck.Test.make ~name:"whole-machine determinism (same seed, same clock)"
+    ~count:15
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (cpus, seed) ->
+      let run () =
+        let k = Kernel.boot ~cpus ~seed:(Int64.of_int seed) () in
+        Kernel.set_tracing k false;
+        ignore
+          (Kernel.spawn k ~name:"det"
+             ~main:
+               (Libthread.boot (fun () ->
+                    let rng = Rng.create ~seed:(Int64.of_int seed) in
+                    let m = Mutex.create () in
+                    let ts =
+                      List.init 3 (fun _ ->
+                          T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                              for _ = 1 to 5 do
+                                Mutex.enter m;
+                                Uctx.charge_us (1 + Rng.int rng 50);
+                                Mutex.exit m;
+                                T.yield ()
+                              done))
+                    in
+                    List.iter (fun t -> ignore (T.wait ~thread:t ())) ts)));
+        Kernel.run k;
+        (Kernel.now k, Kernel.syscall_count k, Kernel.dispatch_count k)
+      in
+      run () = run ())
+
+(* ------------------------- waitq ------------------------- *)
+(* Exercised indirectly by every sync test above; the FIFO and lazy-
+   cancellation behaviour also gets a direct algebraic check through the
+   public Thread API: wakeup order of mutex waiters is FIFO. *)
+
+let prop_mutex_fifo_handoff =
+  QCheck.Test.make ~name:"mutex: handoff order is FIFO" ~count:20
+    (QCheck.int_range 2 6)
+    (fun n ->
+      let order = ref [] in
+      ignore
+        (run_app (fun () ->
+             let m = Mutex.create () in
+             Mutex.enter m;
+             let ts =
+               List.init n (fun i ->
+                   T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                       Mutex.enter m;
+                       order := i :: !order;
+                       Mutex.exit m))
+             in
+             (* let every waiter queue up in creation order *)
+             T.yield ();
+             Mutex.exit m;
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
+      List.rev !order = List.init n (fun i -> i))
+
+(* ------------------------- pthread layer ------------------------- *)
+
+let prop_barrier_generations =
+  QCheck.Test.make ~name:"pthread barrier: exactly one serial per generation"
+    ~count:20
+    QCheck.(pair (int_range 2 6) (int_range 1 6))
+    (fun (parties, generations) ->
+      let module P = Sunos_pthread.Pthread in
+      let serials = ref 0 and crossings = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let b = P.Barrier.create parties in
+             let worker () =
+               for _ = 1 to generations do
+                 if P.Barrier.wait b then incr serials;
+                 incr crossings
+               done
+             in
+             let ts = List.init parties (fun _ -> P.create worker) in
+             List.iter P.join ts));
+      !serials = generations && !crossings = parties * generations)
+
+let prop_pthread_once_any_interleaving =
+  QCheck.Test.make ~name:"pthread once: exactly one initializer, all wait"
+    ~count:20
+    QCheck.(pair (int_range 1 6) (int_range 0 500))
+    (fun (racers, seed) ->
+      let module P = Sunos_pthread.Pthread in
+      let inits = ref 0 and after = ref 0 in
+      ignore
+        (run_app ~cpus:2 (fun () ->
+             let rng = Rng.create ~seed:(Int64.of_int seed) in
+             let o = P.once_init () in
+             let racer () =
+               Uctx.charge_us (Rng.int rng 200);
+               P.once o (fun () ->
+                   Uctx.charge_us 300;
+                   incr inits);
+               (* the initializer must be complete for everyone *)
+               if !inits = 1 then incr after
+             in
+             let ts = List.init racers (fun _ -> P.create racer) in
+             List.iter P.join ts));
+      !inits = 1 && !after = racers)
+
+(* ------------------------- per-thread timers ------------------------- *)
+
+let prop_timers_wake_in_deadline_order =
+  QCheck.Test.make ~name:"timers: wakeups respect deadline order" ~count:20
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8)
+       (QCheck.int_range 1 40))
+    (fun spans_ms ->
+      let module Timers = Sunos_threads.Timers in
+      let woke = ref [] in
+      ignore
+        (run_app (fun () ->
+             let ts =
+               List.map
+                 (fun ms ->
+                   T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                       Timers.sleep (Time.ms ms);
+                       let now = Uctx.gettime () in
+                       woke := (ms, now) :: !woke))
+                 spans_ms
+             in
+             List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
+      (* every sleeper slept at least its span *)
+      List.for_all
+        (fun (ms, at) ->
+          let span = Time.ms ms in
+          Time.(at >= span))
+        !woke
+      && List.length !woke = List.length spans_ms)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "sigset",
+        [
+          qt prop_sigset_mem_add;
+          qt prop_sigset_remove;
+          qt prop_sigset_roundtrip;
+          qt prop_sigset_unmaskable;
+          qt prop_sigset_apply;
+        ] );
+      ( "mutex",
+        [
+          qt prop_mutex_exclusion;
+          qt prop_mutex_variants_exclude;
+          qt prop_mutex_fifo_handoff;
+        ] );
+      ( "semaphore",
+        [ qt prop_semaphore_conservation; qt prop_semaphore_bounded_concurrency ]
+      );
+      ("rwlock", [ qt prop_rwlock_invariant ]);
+      ("condvar", [ qt prop_condvar_queue ]);
+      ("determinism", [ qt prop_simulation_deterministic ]);
+      ( "pthread",
+        [ qt prop_barrier_generations; qt prop_pthread_once_any_interleaving ]
+      );
+      ("timers", [ qt prop_timers_wake_in_deadline_order ]);
+    ]

@@ -1,0 +1,292 @@
+(* Tests of the POSIX layer built on top of the threads library. *)
+
+module Time = Sunos_sim.Time
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module Libthread = Sunos_threads.Libthread
+module P = Sunos_pthread.Pthread
+
+let run_app ?(cpus = 1) main =
+  let k = Kernel.boot ~cpus () in
+  ignore (Kernel.spawn k ~name:"papp" ~main:(Libthread.boot main));
+  Kernel.run k;
+  k
+
+let test_create_join () =
+  let ran = ref false in
+  ignore
+    (run_app (fun () ->
+         let t = P.create (fun () -> ran := true) in
+         P.join t));
+  Alcotest.(check bool) "ran and joined" true !ran
+
+let test_join_errors () =
+  ignore
+    (run_app (fun () ->
+         let t = P.create (fun () -> ()) in
+         P.join t;
+         (try
+            P.join t;
+            Alcotest.fail "double join must raise"
+          with Invalid_argument _ -> ());
+         let d = P.create ~attr:{ P.default_attr with detached = true } (fun () -> ()) in
+         try
+           P.join d;
+           Alcotest.fail "joining detached must raise"
+         with Invalid_argument _ -> ()))
+
+let test_detach_after_create () =
+  ignore
+    (run_app (fun () ->
+         let t = P.create (fun () -> P.yield ()) in
+         P.detach t;
+         try
+           P.join t;
+           Alcotest.fail "join after detach must raise"
+         with Invalid_argument _ -> ()))
+
+let test_bound_attr () =
+  let k =
+    run_app ~cpus:2 (fun () ->
+        let t =
+          P.create ~attr:{ P.default_attr with bound = true } (fun () ->
+              Uctx.charge_us 100)
+        in
+        P.join t)
+  in
+  Alcotest.(check bool) "bound pthread took an LWP" true
+    (Kernel.lwp_create_count k >= 2)
+
+let test_once_runs_once () =
+  let count = ref 0 in
+  ignore
+    (run_app (fun () ->
+         let o = P.once_init () in
+         let ts =
+           List.init 5 (fun _ ->
+               P.create (fun () -> P.once o (fun () -> incr count)))
+         in
+         P.once o (fun () -> incr count);
+         List.iter P.join ts));
+  Alcotest.(check int) "exactly once" 1 !count
+
+let test_once_waits_for_runner () =
+  let order = ref [] in
+  ignore
+    (run_app (fun () ->
+         let o = P.once_init () in
+         let t1 =
+           P.create (fun () ->
+               P.once o (fun () ->
+                   order := "init_start" :: !order;
+                   Uctx.sleep (Time.ms 10);
+                   order := "init_done" :: !order))
+         in
+         P.yield ();
+         let t2 =
+           P.create (fun () ->
+               P.once o (fun () -> Alcotest.fail "second runner");
+               order := "second_after" :: !order)
+         in
+         P.join t1;
+         P.join t2));
+  Alcotest.(check (list string)) "second waited"
+    [ "init_start"; "init_done"; "second_after" ]
+    (List.rev !order)
+
+let test_mutex_errorcheck () =
+  ignore
+    (run_app (fun () ->
+         let m = P.Mutex.create ~kind:P.Mutex.Errorcheck () in
+         P.Mutex.lock m;
+         (try
+            P.Mutex.lock m;
+            Alcotest.fail "relock must raise"
+          with Invalid_argument _ -> ());
+         P.Mutex.unlock m;
+         try
+           P.Mutex.unlock m;
+           Alcotest.fail "unlock when not owner must raise"
+         with Invalid_argument _ -> ()))
+
+let test_cond_timedwait_timeout () =
+  let result = ref `Signaled in
+  ignore
+    (run_app (fun () ->
+         let m = P.Mutex.create () in
+         let cv = P.Cond.create () in
+         P.Mutex.lock m;
+         result := P.Cond.timedwait cv m (Time.ms 20);
+         P.Mutex.unlock m));
+  Alcotest.(check bool) "timed out" true (!result = `Timeout)
+
+let test_cond_timedwait_signaled () =
+  let result = ref `Timeout in
+  ignore
+    (run_app (fun () ->
+         let m = P.Mutex.create () in
+         let cv = P.Cond.create () in
+         let t =
+           P.create (fun () ->
+               Uctx.sleep (Time.ms 5);
+               P.Cond.signal cv)
+         in
+         P.Mutex.lock m;
+         result := P.Cond.timedwait cv m (Time.s 10);
+         P.Mutex.unlock m;
+         P.join t));
+  Alcotest.(check bool) "signaled before timeout" true (!result = `Signaled)
+
+let test_sem () =
+  ignore
+    (run_app (fun () ->
+         let s = P.Sem.create 2 in
+         Alcotest.(check int) "initial" 2 (P.Sem.getvalue s);
+         P.Sem.wait s;
+         Alcotest.(check bool) "trywait" true (P.Sem.trywait s);
+         Alcotest.(check bool) "empty trywait" false (P.Sem.trywait s);
+         P.Sem.post s;
+         Alcotest.(check int) "after post" 1 (P.Sem.getvalue s)))
+
+let test_barrier () =
+  let serials = ref 0 and crossed = ref 0 in
+  ignore
+    (run_app (fun () ->
+         let b = P.Barrier.create 4 in
+         let ts =
+           List.init 3 (fun _ ->
+               P.create (fun () ->
+                   if P.Barrier.wait b then incr serials;
+                   incr crossed))
+         in
+         if P.Barrier.wait b then incr serials;
+         incr crossed;
+         List.iter P.join ts));
+  Alcotest.(check int) "all crossed" 4 !crossed;
+  Alcotest.(check int) "one serial thread" 1 !serials
+
+let test_barrier_reusable () =
+  let rounds = ref 0 in
+  ignore
+    (run_app (fun () ->
+         let b = P.Barrier.create 2 in
+         let t =
+           P.create (fun () ->
+               for _ = 1 to 3 do
+                 ignore (P.Barrier.wait b)
+               done)
+         in
+         for _ = 1 to 3 do
+           ignore (P.Barrier.wait b);
+           incr rounds
+         done;
+         P.join t));
+  Alcotest.(check int) "three generations" 3 !rounds
+
+let test_rwlock () =
+  ignore
+    (run_app (fun () ->
+         let l = P.Rwlock.create () in
+         P.Rwlock.rdlock l;
+         Alcotest.(check bool) "second reader" true (P.Rwlock.tryrdlock l);
+         Alcotest.(check bool) "no writer" false (P.Rwlock.trywrlock l);
+         P.Rwlock.unlock l;
+         P.Rwlock.unlock l;
+         P.Rwlock.wrlock l;
+         Alcotest.(check bool) "no reader under writer" false
+           (P.Rwlock.tryrdlock l);
+         P.Rwlock.unlock l))
+
+let test_key_tsd () =
+  let seen = ref [] in
+  ignore
+    (run_app (fun () ->
+         let key = P.Key.create () in
+         P.Key.set key 1;
+         let t =
+           P.create (fun () ->
+               Alcotest.(check (option int)) "fresh thread: None" None
+                 (P.Key.get key);
+               P.Key.set key 2;
+               seen := P.Key.get key :: !seen)
+         in
+         P.join t;
+         seen := P.Key.get key :: !seen));
+  Alcotest.(check bool) "isolated" true
+    (!seen = [ Some 1; Some 2 ] || !seen = [ Some 2; Some 1 ])
+
+let test_key_destructor_runs_at_exit () =
+  let destroyed = ref [] in
+  ignore
+    (run_app (fun () ->
+         let key = P.Key.create ~destructor:(fun v -> destroyed := v :: !destroyed) () in
+         let t = P.create (fun () -> P.Key.set key 42) in
+         P.join t;
+         (* main thread value: destructor not run (thread still alive) *)
+         P.Key.set key 7));
+  Alcotest.(check (list int)) "destructor ran for the exited thread" [ 42 ]
+    !destroyed
+
+let test_key_set_twice_one_destructor () =
+  let destroyed = ref [] in
+  ignore
+    (run_app (fun () ->
+         let key = P.Key.create ~destructor:(fun v -> destroyed := v :: !destroyed) () in
+         let t =
+           P.create (fun () ->
+               P.Key.set key 1;
+               P.Key.set key 2)
+         in
+         P.join t));
+  Alcotest.(check (list int)) "only the final value destroyed" [ 2 ] !destroyed
+
+let test_key_delete () =
+  ignore
+    (run_app (fun () ->
+         let key = P.Key.create () in
+         P.Key.set key 9;
+         P.Key.delete key;
+         Alcotest.(check (option int)) "deleted reads None" None
+           (P.Key.get key)))
+
+let () =
+  Alcotest.run "sunos_pthread"
+    [
+      ( "threads",
+        [
+          Alcotest.test_case "create+join" `Quick test_create_join;
+          Alcotest.test_case "join errors" `Quick test_join_errors;
+          Alcotest.test_case "detach" `Quick test_detach_after_create;
+          Alcotest.test_case "bound attr" `Quick test_bound_attr;
+        ] );
+      ( "once",
+        [
+          Alcotest.test_case "runs once" `Quick test_once_runs_once;
+          Alcotest.test_case "waits for runner" `Quick
+            test_once_waits_for_runner;
+        ] );
+      ( "mutex_cond",
+        [
+          Alcotest.test_case "errorcheck" `Quick test_mutex_errorcheck;
+          Alcotest.test_case "timedwait timeout" `Quick
+            test_cond_timedwait_timeout;
+          Alcotest.test_case "timedwait signaled" `Quick
+            test_cond_timedwait_signaled;
+        ] );
+      ("sem", [ Alcotest.test_case "semantics" `Quick test_sem ]);
+      ( "barrier",
+        [
+          Alcotest.test_case "serial thread" `Quick test_barrier;
+          Alcotest.test_case "reusable" `Quick test_barrier_reusable;
+        ] );
+      ("rwlock", [ Alcotest.test_case "modes" `Quick test_rwlock ]);
+      ( "tsd",
+        [
+          Alcotest.test_case "isolation" `Quick test_key_tsd;
+          Alcotest.test_case "destructor" `Quick
+            test_key_destructor_runs_at_exit;
+          Alcotest.test_case "set twice" `Quick
+            test_key_set_twice_one_destructor;
+          Alcotest.test_case "delete" `Quick test_key_delete;
+        ] );
+    ]

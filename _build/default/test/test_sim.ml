@@ -1,0 +1,308 @@
+(* Unit + property tests for the simulation engine. *)
+
+module Time = Sunos_sim.Time
+module Pheap = Sunos_sim.Pheap
+module Eventq = Sunos_sim.Eventq
+module Rng = Sunos_sim.Rng
+module Stats = Sunos_sim.Stats
+module Tracebuf = Sunos_sim.Tracebuf
+module Univ = Sunos_sim.Univ
+
+let span = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+(* ------------------------------ Time ------------------------------ *)
+
+let test_time_units () =
+  Alcotest.check span "us" 1_000L (Time.us 1);
+  Alcotest.check span "ms" 1_000_000L (Time.ms 1);
+  Alcotest.check span "s" 1_000_000_000L (Time.s 1);
+  Alcotest.check span "us_f rounds" 1_500L (Time.us_f 1.5);
+  Alcotest.check span "add" 3L (Time.add 1L 2L);
+  Alcotest.check span "diff" 5L (Time.diff 8L 3L)
+
+let test_time_compare () =
+  Alcotest.(check bool) "lt" true Time.(1L < 2L);
+  Alcotest.(check bool) "le eq" true Time.(2L <= 2L);
+  Alcotest.(check bool) "gt" false Time.(1L > 2L);
+  Alcotest.check span "max" 9L (Time.max 9L 3L);
+  Alcotest.check span "min" 3L (Time.min 9L 3L)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "ns" "500ns" (s 500L);
+  Alcotest.(check string) "us" "2.00us" (s (Time.us 2));
+  Alcotest.(check string) "ms" "3.50ms" (s (Time.us 3500));
+  Alcotest.(check string) "s" "2.000s" (s (Time.s 2))
+
+(* ------------------------------ Pheap ------------------------------ *)
+
+let test_pheap_basic () =
+  let h = Pheap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Pheap.is_empty h);
+  List.iter (Pheap.insert h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "size" 5 (Pheap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Pheap.peek_min h);
+  let rec drain acc =
+    match Pheap.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (drain [])
+
+let prop_pheap_sorted =
+  QCheck.Test.make ~name:"pheap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Pheap.create ~cmp:compare in
+      List.iter (Pheap.insert h) xs;
+      let rec drain acc =
+        match Pheap.pop_min h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------ Eventq ------------------------------ *)
+
+let test_eventq_order () =
+  let q = Eventq.create () in
+  let log = ref [] in
+  ignore (Eventq.at q 30L (fun () -> log := 3 :: !log));
+  ignore (Eventq.at q 10L (fun () -> log := 1 :: !log));
+  ignore (Eventq.at q 20L (fun () -> log := 2 :: !log));
+  Eventq.run q;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.check span "clock at last event" 30L (Eventq.now q)
+
+let test_eventq_fifo_ties () =
+  let q = Eventq.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Eventq.at q 10L (fun () -> log := i :: !log))
+  done;
+  Eventq.run q;
+  Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_eventq_cancel () =
+  let q = Eventq.create () in
+  let fired = ref false in
+  let h = Eventq.at q 10L (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Eventq.is_pending h);
+  Eventq.cancel h;
+  Alcotest.(check bool) "not pending" false (Eventq.is_pending h);
+  Eventq.run q;
+  Alcotest.(check bool) "cancelled did not fire" false !fired
+
+let test_eventq_past_rejected () =
+  let q = Eventq.create () in
+  ignore (Eventq.at q 10L (fun () -> ()));
+  Eventq.run q;
+  Alcotest.check_raises "past" (Invalid_argument "Eventq.at: scheduling in the past")
+    (fun () -> ignore (Eventq.at q 5L (fun () -> ())))
+
+let test_eventq_until () =
+  let q = Eventq.create () in
+  let log = ref [] in
+  ignore (Eventq.at q 10L (fun () -> log := 1 :: !log));
+  ignore (Eventq.at q 100L (fun () -> log := 2 :: !log));
+  Eventq.run ~until:50L q;
+  Alcotest.(check (list int)) "only first" [ 1 ] (List.rev !log);
+  Alcotest.check span "clock at horizon" 50L (Eventq.now q);
+  Eventq.run q;
+  Alcotest.(check (list int)) "rest runs" [ 1; 2 ] (List.rev !log)
+
+let test_eventq_cascade () =
+  (* events scheduling events *)
+  let q = Eventq.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 10 then ignore (Eventq.after q 5L tick)
+  in
+  ignore (Eventq.after q 5L tick);
+  Eventq.run q;
+  Alcotest.(check int) "10 ticks" 10 !count;
+  Alcotest.check span "clock" 50L (Eventq.now q)
+
+let prop_eventq_monotonic =
+  QCheck.Test.make ~name:"eventq fires in nondecreasing time order" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun delays ->
+      let q = Eventq.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Eventq.at q (Int64.of_int d) (fun () ->
+                 times := Eventq.now q :: !times)))
+        delays;
+      Eventq.run q;
+      let ts = List.rev !times in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> Time.(a <= b) && mono rest
+        | _ -> true
+      in
+      mono ts)
+
+(* ------------------------------ Rng ------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:42L in
+  let b = Rng.split a in
+  let b_first = Rng.int64 b in
+  (* advancing [a] must not change what [b] would have produced *)
+  let a' = Rng.create ~seed:42L in
+  let b' = Rng.split a' in
+  for _ = 1 to 10 do
+    ignore (Rng.int64 a')
+  done;
+  Alcotest.(check bool) "split stream stable" true (Int64.equal b_first (Rng.int64 b'))
+
+let prop_rng_int_bound =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    let v = Rng.exponential rng ~mean:10. in
+    Alcotest.(check bool) "positive" true (v >= 0.)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:3L in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* ------------------------------ Stats ------------------------------ *)
+
+let test_counter () =
+  let c = Stats.Counter.create "c" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 5;
+  Alcotest.(check int) "value" 6 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+let test_hist_exact () =
+  let h = Stats.Hist.create "h" in
+  List.iter (fun x -> Stats.Hist.add h (Int64.of_int x)) [ 10; 20; 30; 40; 50 ];
+  Alcotest.(check int) "count" 5 (Stats.Hist.count h);
+  Alcotest.(check (float 0.001)) "mean" 30. (Stats.Hist.mean h);
+  Alcotest.check span "min" 10L (Stats.Hist.min h);
+  Alcotest.check span "max" 50L (Stats.Hist.max h);
+  Alcotest.check span "p50" 30L (Stats.Hist.percentile h 0.5);
+  Alcotest.check span "p0" 10L (Stats.Hist.percentile h 0.0);
+  Alcotest.check span "p100" 50L (Stats.Hist.percentile h 1.0)
+
+let test_hist_decimation () =
+  let h = Stats.Hist.create ~capacity:128 "h" in
+  for i = 1 to 10_000 do
+    Stats.Hist.add h (Int64.of_int i)
+  done;
+  Alcotest.(check int) "count tracks all" 10_000 (Stats.Hist.count h);
+  Alcotest.check span "max exact" 10_000L (Stats.Hist.max h);
+  Alcotest.check span "min exact" 1L (Stats.Hist.min h);
+  let p50 = Int64.to_float (Stats.Hist.percentile h 0.5) in
+  Alcotest.(check bool) "p50 approximately mid" true (p50 > 3000. && p50 < 7000.)
+
+let test_hist_empty () =
+  let h = Stats.Hist.create "h" in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Hist.mean h));
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.Hist.percentile: empty") (fun () ->
+      ignore (Stats.Hist.percentile h 0.5))
+
+(* ------------------------------ Tracebuf ------------------------------ *)
+
+let test_tracebuf_basic () =
+  let t = Tracebuf.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Tracebuf.emit t ~time:(Int64.of_int i) ~tag:"x" (string_of_int i)
+  done;
+  let recs = Tracebuf.records t in
+  Alcotest.(check int) "capacity bounds" 4 (List.length recs);
+  Alcotest.(check int) "dropped" 2 (Tracebuf.dropped t);
+  Alcotest.(check string) "oldest kept" "3" (List.hd recs).Tracebuf.msg
+
+let test_tracebuf_find_disable () =
+  let t = Tracebuf.create () in
+  Tracebuf.emit t ~time:1L ~tag:"a" "one";
+  Tracebuf.emit t ~time:2L ~tag:"b" "two";
+  Tracebuf.set_enabled t false;
+  Tracebuf.emit t ~time:3L ~tag:"a" "three";
+  Alcotest.(check int) "find a" 1 (List.length (Tracebuf.find t ~tag:"a"));
+  Tracebuf.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Tracebuf.records t))
+
+(* ------------------------------ Univ ------------------------------ *)
+
+let test_univ_roundtrip () =
+  let ki : int Univ.key = Univ.key () in
+  let ks : string Univ.key = Univ.key () in
+  let u = Univ.pack ki 42 in
+  Alcotest.(check (option int)) "same key" (Some 42) (Univ.unpack ki u);
+  Alcotest.(check (option string)) "other key" None (Univ.unpack ks u);
+  let ki2 : int Univ.key = Univ.key () in
+  Alcotest.(check (option int)) "distinct keys of same type" None
+    (Univ.unpack ki2 u)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sunos_sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "compare" `Quick test_time_compare;
+          Alcotest.test_case "pp" `Quick test_time_pp;
+        ] );
+      ( "pheap",
+        [
+          Alcotest.test_case "basic" `Quick test_pheap_basic;
+          qt prop_pheap_sorted;
+        ] );
+      ( "eventq",
+        [
+          Alcotest.test_case "order" `Quick test_eventq_order;
+          Alcotest.test_case "fifo ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_eventq_cancel;
+          Alcotest.test_case "past rejected" `Quick test_eventq_past_rejected;
+          Alcotest.test_case "until" `Quick test_eventq_until;
+          Alcotest.test_case "cascade" `Quick test_eventq_cascade;
+          qt prop_eventq_monotonic;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          qt prop_rng_int_bound;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "hist exact" `Quick test_hist_exact;
+          Alcotest.test_case "hist decimation" `Quick test_hist_decimation;
+          Alcotest.test_case "hist empty" `Quick test_hist_empty;
+        ] );
+      ( "tracebuf",
+        [
+          Alcotest.test_case "ring" `Quick test_tracebuf_basic;
+          Alcotest.test_case "find/disable" `Quick test_tracebuf_find_disable;
+        ] );
+      ("univ", [ Alcotest.test_case "roundtrip" `Quick test_univ_roundtrip ]);
+    ]
