@@ -37,8 +37,9 @@ let models () =
         (Time.to_ms r.W.makespan))
     Sunos_baselines.Model.all;
   let sp = S.default_params in
-  Printf.printf "\nnetwork server (%d requests, 1/%d hit the disk):\n"
-    sp.S.requests sp.S.disk_every;
+  Printf.printf
+    "\nnetwork server (%d connections x %d requests, 1/%d hit the disk):\n"
+    sp.S.connections sp.S.requests_per_conn sp.S.disk_every;
   Printf.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "served" "LWPs"
     "p50 (ms)" "p99 (ms)" "req/s";
   List.iter

@@ -13,6 +13,12 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig4", "thread interface conformance", Figures.fig4);
     ("fig5", "thread creation time", fun () -> ignore (Figures.fig5 ()));
     ("fig6", "thread synchronization time", fun () -> ignore (Figures.fig6 ()));
+    ( "server-scaling",
+      "socket server: connection count and CPU scaling",
+      fun () -> Figures.server_scaling () );
+    ( "server-scaling-smoke",
+      "fast variant of server-scaling for the test suite",
+      fun () -> Figures.server_scaling ~smoke:true () );
     ("ablation-models", "M:N vs 1:1 vs user-only vs activations", Ablations.models);
     ("ablation-sigwaiting", "SIGWAITING deadlock avoidance", Ablations.sigwaiting);
     ("ablation-mutex", "spin vs sleep vs adaptive mutexes", Ablations.mutexes);

@@ -77,14 +77,17 @@ let windows_cmd =
 
 (* ------------------------- server ------------------------- *)
 
-let server model cpus requests interarrival disk_every seed =
+let server model cpus connections requests_per_conn think disk_every workers
+    seed =
   let (module M) = resolve_model model in
   let p =
     {
       S.default_params with
-      requests;
-      mean_interarrival_us = interarrival;
+      connections;
+      requests_per_conn;
+      think_time_us = think;
       disk_every;
+      workers;
       seed = Int64.of_int seed;
     }
   in
@@ -92,22 +95,32 @@ let server model cpus requests interarrival disk_every seed =
   Format.printf "server/%s: %a@." M.name S.pp_results r
 
 let server_cmd =
-  let requests =
-    Arg.(value & opt int 200 & info [ "requests" ] ~doc:"Request count.")
+  let connections =
+    Arg.(value & opt int 40
+         & info [ "connections" ] ~doc:"Concurrent client connections.")
   in
-  let inter =
+  let requests =
+    Arg.(value & opt int 3
+         & info [ "requests-per-conn" ] ~doc:"Requests per connection.")
+  in
+  let think =
     Arg.(value & opt int 2000
-         & info [ "interarrival-us" ] ~doc:"Mean request interarrival (us).")
+         & info [ "think-us" ] ~doc:"Mean client think time (us).")
   in
   let disk =
     Arg.(value & opt int 4
          & info [ "disk-every" ] ~doc:"Every n-th request reads cold.")
   in
+  let workers =
+    Arg.(value & opt int 8
+         & info [ "workers" ] ~doc:"Server worker-pool size.")
+  in
   Cmd.v
-    (Cmd.info "server" ~doc:"The network-server workload (paper intro).")
+    (Cmd.info "server"
+       ~doc:"The event-driven network-server workload (paper intro).")
     Term.(
-      const server $ model_arg $ cpus_arg 1 $ requests $ inter $ disk
-      $ seed_arg)
+      const server $ model_arg $ cpus_arg 1 $ connections $ requests $ think
+      $ disk $ workers $ seed_arg)
 
 (* ------------------------- database ------------------------- *)
 

@@ -1,7 +1,8 @@
-(* The network-server scenario from the paper's introduction: a server
-   that spawns a thread per request, where serving may need file (disk)
-   I/O.  The architectures differ in whether a disk wait stalls one
-   request or the whole server.
+(* The network-server scenario from the paper's introduction: an
+   event-driven server (acceptor + poller + worker pool) over the kernel
+   socket layer, against a load generator holding many concurrent
+   connections.  Serving may need file (disk) I/O; the architectures
+   differ in whether a disk wait stalls one request or the whole server.
 
    Run with:  dune exec examples/network_server.exe *)
 
@@ -10,10 +11,11 @@ module S = Sunos_workloads.Net_server
 let () =
   let p = S.default_params in
   Format.printf
-    "Network server: %d requests, 1/%d need a cold disk read@\n\
+    "Network server: %d connections x %d requests, 1/%d need a cold disk \
+     read@\n\
      model        | served | LWPs | p50 latency | p99 latency | throughput@\n\
      -------------+--------+------+-------------+-------------+-----------@\n"
-    p.S.requests p.S.disk_every;
+    p.S.connections p.S.requests_per_conn p.S.disk_every;
   List.iter
     (fun (module M : Sunos_baselines.Model.S) ->
       let r = S.run (module M) ~cpus:1 p in

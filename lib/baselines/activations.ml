@@ -23,6 +23,9 @@ let spawn f = T.create ~flags:[ T.THREAD_WAIT ] f
 let join t = ignore (T.wait ~thread:t ())
 let yield = T.yield
 
+(* the pool sizes itself through blocking upcalls *)
+let set_concurrency _ = ()
+
 module Mu = struct
   type t = Sunos_threads.Mutex.t
 

@@ -19,6 +19,9 @@ let spawn f = T.create ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ] f
 let join t = ignore (T.wait ~thread:t ())
 let yield = T.yield
 
+(* 1:1 — every thread already has an LWP; there is no pool to size *)
+let set_concurrency _ = ()
+
 module Mu = struct
   type t = Sunos_threads.Mutex.t
 

@@ -27,6 +27,9 @@ let spawn f = T.create ~flags:[ T.THREAD_WAIT ] f
 let join t = ignore (T.wait ~thread:t ())
 let yield = T.yield
 
+(* the whole point of this model is its single LWP *)
+let set_concurrency _ = ()
+
 module Mu = struct
   type t = Sunos_threads.Mutex.t
 

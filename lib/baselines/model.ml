@@ -8,6 +8,8 @@ module type S = sig
   val join : thread -> unit
   val yield : unit -> unit
 
+  val set_concurrency : int -> unit
+
   module Mu : sig
     type t
 

@@ -23,6 +23,12 @@ module type S = sig
   val join : thread -> unit
   val yield : unit -> unit
 
+  val set_concurrency : int -> unit
+  (** Pre-size the LWP pool multiplexing unbound threads
+      ([thread_setconcurrency]).  A no-op on models where the LWP count
+      is fixed by the architecture: liblwp is pinned to one, cthreads is
+      1:1, activations size their pool through upcalls. *)
+
   module Mu : sig
     type t
 

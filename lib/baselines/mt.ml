@@ -14,6 +14,7 @@ type thread = T.id
 let spawn f = T.create ~flags:[ T.THREAD_WAIT ] f
 let join t = ignore (T.wait ~thread:t ())
 let yield = T.yield
+let set_concurrency n = T.setconcurrency n
 
 module Mu = struct
   type t = Sunos_threads.Mutex.t

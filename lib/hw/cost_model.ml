@@ -31,6 +31,10 @@ type t = {
   kwake_fixed : Time.span;
   pagefault_service : Time.span;
   pipe_op : Time.span;
+  sock_listen : Time.span;
+  sock_connect : Time.span;
+  sock_accept : Time.span;
+  sock_op : Time.span;
   poll_fixed : Time.span;
   poll_per_fd : Time.span;
   fs_op : Time.span;
@@ -83,6 +87,10 @@ let default =
     kwake_fixed = Time.us 5;
     pagefault_service = Time.us 350;
     pipe_op = Time.us 40;
+    sock_listen = Time.us 60;
+    sock_connect = Time.us 250;
+    sock_accept = Time.us 130;
+    sock_op = Time.us 70;
     poll_fixed = Time.us 55;
     poll_per_fd = Time.us 6;
     fs_op = Time.us 120;
@@ -126,6 +134,10 @@ let free =
     kwake_fixed = 0L;
     pagefault_service = 0L;
     pipe_op = 0L;
+    sock_listen = 0L;
+    sock_connect = 0L;
+    sock_accept = 0L;
+    sock_op = 0L;
     poll_fixed = 0L;
     poll_per_fd = 0L;
     fs_op = 0L;
@@ -170,6 +182,10 @@ let scale f c =
     kwake_fixed = s c.kwake_fixed;
     pagefault_service = s c.pagefault_service;
     pipe_op = s c.pipe_op;
+    sock_listen = s c.sock_listen;
+    sock_connect = s c.sock_connect;
+    sock_accept = s c.sock_accept;
+    sock_op = s c.sock_op;
     poll_fixed = s c.poll_fixed;
     poll_per_fd = s c.poll_per_fd;
     fs_op = s c.fs_op;

@@ -46,6 +46,18 @@ type t = {
   kwake_fixed : Sunos_sim.Time.span;
   pagefault_service : Sunos_sim.Time.span;  (** minor fault: map a page *)
   pipe_op : Sunos_sim.Time.span;
+  sock_listen : Sunos_sim.Time.span;
+      (** allocate + register a listening endpoint (PCB setup) *)
+  sock_connect : Sunos_sim.Time.span;
+      (** client-side protocol processing for connection setup; the
+          three-way-handshake wire time is charged separately through
+          the net device's round trip *)
+  sock_accept : Sunos_sim.Time.span;
+      (** dequeue an established connection, allocate its fd state *)
+  sock_op : Sunos_sim.Time.span;
+      (** per-call protocol processing on an established stream
+          (header handling, buffer bookkeeping); data copy is charged
+          per KiB on top *)
   poll_fixed : Sunos_sim.Time.span;
   poll_per_fd : Sunos_sim.Time.span;
   fs_op : Sunos_sim.Time.span;  (** namei + inode manipulation *)

@@ -98,7 +98,7 @@ module Tty = struct
     ignore
       (Eventq.after t.eventq t.latency (fun () ->
            Queue.add line t.input;
-           let ls = t.listeners in
+           let ls = List.rev t.listeners in
            t.listeners <- [];
            List.iter (fun f -> f ()) ls))
 
@@ -106,5 +106,5 @@ module Tty = struct
   let has_input t = not (Queue.is_empty t.input)
 
   let on_data_ready t f =
-    if has_input t then f () else t.listeners <- t.listeners @ [ f ]
+    if has_input t then f () else t.listeners <- f :: t.listeners
 end

@@ -13,6 +13,11 @@ type t =
   | EPERM
   | ENOSYS
   | ETIMEDOUT
+  | EADDRINUSE
+  | ECONNREFUSED
+  | ECONNRESET
+  | ECONNABORTED
+  | ENOTCONN
 
 let to_string = function
   | EINTR -> "EINTR"
@@ -29,6 +34,11 @@ let to_string = function
   | EPERM -> "EPERM"
   | ENOSYS -> "ENOSYS"
   | ETIMEDOUT -> "ETIMEDOUT"
+  | EADDRINUSE -> "EADDRINUSE"
+  | ECONNREFUSED -> "ECONNREFUSED"
+  | ECONNRESET -> "ECONNRESET"
+  | ECONNABORTED -> "ECONNABORTED"
+  | ENOTCONN -> "ENOTCONN"
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

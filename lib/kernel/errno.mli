@@ -15,6 +15,11 @@ type t =
   | EPERM  (** operation not permitted *)
   | ENOSYS  (** not implemented *)
   | ETIMEDOUT  (** timed out *)
+  | EADDRINUSE  (** service name already has a listener *)
+  | ECONNREFUSED  (** no listener, listener closed, or backlog full *)
+  | ECONNRESET  (** connection reset by peer *)
+  | ECONNABORTED  (** listening fd closed under a blocked accept *)
+  | ENOTCONN  (** stream operation on a listening socket *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

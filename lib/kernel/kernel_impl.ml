@@ -29,6 +29,7 @@ let create ~machine =
   {
     machine;
     fs = Fs.create ();
+    sockets = Socket.create_registry ();
     procs = [];
     next_pid = 1;
     queues = Array.init (max_global_prio + 1) (fun _ -> Queue.create ());
@@ -479,6 +480,12 @@ and upcall_block k proc =
         | None -> ()
 
 and check_sigwaiting k proc =
+  (* scheduler-activations processes get a blocking upcall instead;
+     posting SIGWAITING too would interrupt their indefinite waits
+     (poll, accept) in a storm: the upcall unparks an idle LWP, the
+     unpark re-arms the edge, the LWP re-parks, SIGWAITING fires ... *)
+  if proc.upcall_on_block then ()
+  else
   let live = live_lwps proc in
   let all_indefinite =
     live <> []
@@ -734,6 +741,8 @@ and close_fdobj fdobj =
   match fdobj with
   | Fd_pipe_r p -> Pipe.close_read p
   | Fd_pipe_w p -> Pipe.close_write p
+  | Fd_sock ep -> Socket.close ep
+  | Fd_sock_listen l -> Socket.close_listener l
   | Fd_file _ | Fd_net _ | Fd_tty -> ()
 
 and proc_exit k proc ~status =

@@ -117,6 +117,8 @@ and fdobj =
   | Fd_pipe_w of Pipe.t
   | Fd_net of Netchan.t
   | Fd_tty
+  | Fd_sock_listen of Socket.listener
+  | Fd_sock of Socket.endpoint
 
 (* A futex-queue entry; [fw_alive] is the lazy-removal guard. *)
 type futex_waiter = { fw_lwp : lwp; fw_alive : bool ref }
@@ -124,6 +126,7 @@ type futex_waiter = { fw_lwp : lwp; fw_alive : bool ref }
 type kernel = {
   machine : Sunos_hw.Machine.t;
   fs : Fs.t;
+  sockets : Socket.registry;  (* service name -> listener *)
   mutable procs : proc list;
   mutable next_pid : int;
   queues : (lwp * int) Queue.t array;

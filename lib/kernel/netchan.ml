@@ -20,7 +20,7 @@ let create ~name =
 let name t = t.name
 
 let fire t =
-  let ws = t.waiters in
+  let ws = List.rev t.waiters in
   t.waiters <- [];
   List.iter (fun f -> f ()) ws
 
@@ -40,7 +40,8 @@ let take t =
 let pop_reply t = Queue.take_opt t.replies
 let readable t = (not (Queue.is_empty t.inbox)) || t.closed
 let pending t = Queue.length t.inbox
-let on_readable t f = if readable t then f () else t.waiters <- t.waiters @ [ f ]
+let on_readable t f =
+  if readable t then f () else t.waiters <- f :: t.waiters
 
 let close t =
   t.closed <- true;

@@ -1,5 +1,14 @@
 (** A network endpoint: a message queue fed from outside the process.
 
+    {b Deprecated.} New code should use the connection-oriented socket
+    layer ({!Socket}, via [Uctx.listen] / [Uctx.connect] /
+    [Uctx.accept]) instead: it gives per-connection full-duplex byte
+    streams with bounded buffers, backpressure, and EOF/reset
+    semantics, where Netchan only offers a one-way message queue with a
+    reply side-channel.  Netchan remains for message-style injection
+    from event-queue callbacks (no peer process required) and for the
+    existing kernel tests; no workload uses it any more.
+
     Workload generators inject request messages (optionally through the
     simulated network device for latency); server code reads them through
     the fd layer ([read] returns one whole message) and replies with

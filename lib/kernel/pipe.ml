@@ -25,13 +25,15 @@ let writable t = buffered t < t.capacity || t.read_closed
 let read_closed t = t.read_closed
 let write_closed t = t.write_closed
 
+(* registration is O(1) (prepend), firing reverses to oldest-first —
+   pollers re-register each cycle, so tail-append would go quadratic *)
 let fire_read_waiters t =
-  let ws = t.read_waiters in
+  let ws = List.rev t.read_waiters in
   t.read_waiters <- [];
   List.iter (fun f -> f ()) ws
 
 let fire_write_waiters t =
-  let ws = t.write_waiters in
+  let ws = List.rev t.write_waiters in
   t.write_waiters <- [];
   List.iter (fun f -> f ()) ws
 
@@ -65,7 +67,7 @@ let close_write t =
   fire_read_waiters t
 
 let on_readable t f =
-  if readable t then f () else t.read_waiters <- t.read_waiters @ [ f ]
+  if readable t then f () else t.read_waiters <- f :: t.read_waiters
 
 let on_writable t f =
-  if writable t then f () else t.write_waiters <- t.write_waiters @ [ f ]
+  if writable t then f () else t.write_waiters <- f :: t.write_waiters

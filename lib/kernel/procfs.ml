@@ -23,6 +23,8 @@ type proc_info = {
   pi_minflt : int;
   pi_majflt : int;
   pi_nfds : int;
+  pi_nsocks : int;
+  pi_nlisten : int;
 }
 
 let lwp_state_string l =
@@ -74,6 +76,14 @@ let proc_info p =
     pi_minflt = p.minflt;
     pi_majflt = p.majflt;
     pi_nfds = Hashtbl.length p.fdtab;
+    pi_nsocks =
+      Hashtbl.fold
+        (fun _ o n -> match o with Fd_sock _ -> n + 1 | _ -> n)
+        p.fdtab 0;
+    pi_nlisten =
+      Hashtbl.fold
+        (fun _ o n -> match o with Fd_sock_listen _ -> n + 1 | _ -> n)
+        p.fdtab 0;
   }
 
 let snapshot k =
@@ -86,9 +96,11 @@ let proc k pid =
   | None -> None
 
 let pp_proc ppf pi =
-  Format.fprintf ppf "pid %d (%s) %s nlwps=%d utime=%a stime=%a flt=%d/%d@."
+  Format.fprintf ppf
+    "pid %d (%s) %s nlwps=%d utime=%a stime=%a flt=%d/%d socks=%d/%d@."
     pi.pi_pid pi.pi_name pi.pi_state pi.pi_nlwps Sunos_sim.Time.pp pi.pi_utime
-    Sunos_sim.Time.pp pi.pi_stime pi.pi_minflt pi.pi_majflt;
+    Sunos_sim.Time.pp pi.pi_stime pi.pi_minflt pi.pi_majflt pi.pi_nsocks
+    pi.pi_nlisten;
   List.iter
     (fun li ->
       Format.fprintf ppf "  lwp %d %-16s %-6s prio=%-3d %s%s@." li.li_lwpid

@@ -29,6 +29,8 @@ type proc_info = {
   pi_minflt : int;
   pi_majflt : int;
   pi_nfds : int;
+  pi_nsocks : int;  (** open connected socket fds *)
+  pi_nlisten : int;  (** open listening socket fds *)
 }
 
 val snapshot : Ktypes.kernel -> proc_info list

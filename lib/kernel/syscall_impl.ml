@@ -35,12 +35,16 @@ let in_ready k fdobj =
   | Fd_pipe_w _ -> false
   | Fd_net ch -> Netchan.readable ch
   | Fd_tty -> Tty.has_input k.machine.Machine.tty
+  | Fd_sock ep -> Socket.readable ep
+  | Fd_sock_listen l -> Socket.acceptable l
 
 let out_ready fdobj =
   match fdobj with
   | Fd_file _ | Fd_tty | Fd_net _ -> true
   | Fd_pipe_w p -> Pipe.writable p
   | Fd_pipe_r _ -> false
+  | Fd_sock ep -> Socket.writable ep
+  | Fd_sock_listen _ -> false
 
 (* Register a one-shot "something changed" callback on a pollable object.
    File fds are always ready so they never need registration. *)
@@ -50,6 +54,10 @@ let register_ready k fdobj ~want_in ~want_out f =
   | Fd_pipe_w p -> if want_out then Pipe.on_writable p f
   | Fd_net ch -> if want_in then Netchan.on_readable ch f
   | Fd_tty -> if want_in then Tty.on_data_ready k.machine.Machine.tty f
+  | Fd_sock ep ->
+      if want_in then Socket.on_readable ep f;
+      if want_out then Socket.on_writable ep f
+  | Fd_sock_listen l -> if want_in then Socket.on_acceptable l f
   | Fd_file _ -> ()
 
 (* --- file I/O -------------------------------------------------------- *)
@@ -156,6 +164,65 @@ let rec net_read_blocking k lwp ch ~alive =
                   K.wake k lwp (R_bytes "")
                 end
                 else net_read_blocking k lwp ch ~alive)
+        | None -> alive := false)
+
+(* --- sockets ---------------------------------------------------------- *)
+
+let rec sock_read_blocking k lwp ep ~len ~alive =
+  Socket.on_readable ep (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ -> (
+            match Socket.read ep ~len with
+            | `Data s ->
+                alive := false;
+                K.wake k lwp (R_bytes s)
+            | `Eof ->
+                alive := false;
+                K.wake k lwp (R_bytes "")
+            | `Reset ->
+                alive := false;
+                K.wake k lwp (R_err Errno.ECONNRESET)
+            | `Empty ->
+                (* another reader of the same fd drained it first *)
+                sock_read_blocking k lwp ep ~len ~alive)
+        | None -> alive := false)
+
+let rec sock_write_blocking k lwp ep data ~alive =
+  Socket.on_writable ep (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ -> (
+            match Socket.write ep data with
+            | `Accepted n ->
+                alive := false;
+                K.wake k lwp (R_int n)
+            | `Reset ->
+                alive := false;
+                K.wake k lwp (R_err Errno.ECONNRESET)
+            | `Full -> sock_write_blocking k lwp ep data ~alive)
+        | None -> alive := false)
+
+let rec sock_accept_blocking k lwp l ~alive =
+  Socket.on_acceptable l (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ ->
+            if Socket.listener_closed l then begin
+              alive := false;
+              K.wake k lwp (R_err Errno.ECONNABORTED)
+            end
+            else (
+              match Socket.accept l with
+              | Some ep ->
+                  alive := false;
+                  let fd = install_fd lwp.proc (Fd_sock ep) in
+                  K.trace k "accept" "pid%d accepts on %s -> fd%d"
+                    lwp.proc.pid (Socket.listener_name l) fd;
+                  K.wake k lwp (R_int fd)
+              | None ->
+                  (* another acceptor got there first *)
+                  sock_accept_blocking k lwp l ~alive)
         | None -> alive := false)
 
 (* --- poll ------------------------------------------------------------- *)
@@ -345,6 +412,21 @@ let execute k lwp req =
                   ~cancel:(fun () -> alive := false);
                 net_read_blocking k lwp ch ~alive
               end)
+      | Some (Fd_sock ep) -> (
+          match Socket.read ep ~len with
+          | `Data s ->
+              K.complete k lwp
+                ~op_cost:(Int64.add c.Cost.sock_op (copy_cost c (String.length s)))
+                (R_bytes s)
+          | `Eof -> K.complete k lwp ~op_cost:c.Cost.sock_op (R_bytes "")
+          | `Reset -> K.complete k lwp (R_err Errno.ECONNRESET)
+          | `Empty ->
+              let alive = ref true in
+              K.block k lwp ~wchan:"sock_read" ~interruptible:true
+                ~indefinite:true
+                ~cancel:(fun () -> alive := false);
+              sock_read_blocking k lwp ep ~len ~alive)
+      | Some (Fd_sock_listen _) -> K.complete k lwp (R_err Errno.ENOTCONN)
       | Some Fd_tty -> (
           match Tty.read_input k.machine.Machine.tty with
           | Some line ->
@@ -397,6 +479,20 @@ let execute k lwp req =
           K.complete k lwp
             ~op_cost:(Int64.add c.Cost.pipe_op (copy_cost c (String.length data)))
             (R_int (String.length data))
+      | Some (Fd_sock ep) -> (
+          match Socket.write ep data with
+          | `Accepted n ->
+              K.complete k lwp
+                ~op_cost:(Int64.add c.Cost.sock_op (copy_cost c n))
+                (R_int n)
+          | `Reset -> K.complete k lwp (R_err Errno.ECONNRESET)
+          | `Full ->
+              let alive = ref true in
+              K.block k lwp ~wchan:"sock_write" ~interruptible:true
+                ~indefinite:true
+                ~cancel:(fun () -> alive := false);
+              sock_write_blocking k lwp ep data ~alive)
+      | Some (Fd_sock_listen _) -> K.complete k lwp (R_err Errno.ENOTCONN)
       | Some Fd_tty ->
           K.complete k lwp
             ~op_cost:(copy_cost c (String.length data))
@@ -406,7 +502,10 @@ let execute k lwp req =
       | Some (Fd_file f) ->
           f.pos <- pos;
           K.complete k lwp R_ok
-      | Some (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty) | None ->
+      | Some
+          (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty | Fd_sock _
+          | Fd_sock_listen _)
+      | None ->
           K.complete k lwp (R_err Errno.EINVAL))
   | Sys_unlink path -> (
       match Fs.unlink k.fs path with
@@ -419,7 +518,10 @@ let execute k lwp req =
           proc.mappings <- seg :: proc.mappings;
           Shm.incr_map_count seg;
           K.complete k lwp ~op_cost:c.Cost.fs_op (R_seg seg)
-      | Some (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty) | None ->
+      | Some
+          (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty | Fd_sock _
+          | Fd_sock_listen _)
+      | None ->
           K.complete k lwp (R_err Errno.EBADF))
   | Sys_mmap_anon { size; shared = _ } ->
       let seg = Shm.create ~name:"[anon]" ~size in
@@ -472,6 +574,61 @@ let execute k lwp req =
       let rfd = install_fd proc (Fd_pipe_r p) in
       let wfd = install_fd proc (Fd_pipe_w p) in
       K.complete k lwp ~op_cost:c.Cost.pipe_op (R_fds (rfd, wfd))
+  | Sys_listen { name; backlog } -> (
+      match Socket.listen k.sockets ~name ~backlog () with
+      | Error `Addr_in_use -> K.complete k lwp (R_err Errno.EADDRINUSE)
+      | Ok l ->
+          let fd = install_fd proc (Fd_sock_listen l) in
+          K.trace k "listen" "pid%d listens on %s backlog=%d fd%d" proc.pid
+            name backlog fd;
+          K.complete k lwp ~op_cost:c.Cost.sock_listen (R_int fd))
+  | Sys_connect name ->
+      (* Pay the client-side protocol processing, then wait out the
+         handshake round trip.  Admission is decided when the SYN
+         arrives at the listener — a connect racing a listen within one
+         RTT therefore succeeds, and a full backlog refuses it. *)
+      let cpu = K.cpu_of k lwp in
+      K.busy k cpu lwp c.Cost.sock_connect (fun () ->
+          K.block k lwp ~wchan:"connect" ~interruptible:false
+            ~indefinite:false
+            ~cancel:(fun () -> ());
+          Sunos_hw.Devices.Net.request_response k.machine.Machine.net
+            ~bytes_:64 ~on_complete:(fun () ->
+              match lwp.sleep with
+              | None -> ()
+              | Some _ -> (
+                  let refused () =
+                    K.trace k "connect" "pid%d -> %s refused" proc.pid name;
+                    K.wake k lwp (R_err Errno.ECONNREFUSED)
+                  in
+                  match Socket.lookup k.sockets name with
+                  | None -> refused ()
+                  | Some l -> (
+                      match Socket.try_admit l ~net:k.machine.Machine.net with
+                      | None -> refused ()
+                      | Some client_ep ->
+                          let fd = install_fd proc (Fd_sock client_ep) in
+                          K.trace k "connect" "pid%d -> %s fd%d" proc.pid
+                            name fd;
+                          K.wake k lwp (R_int fd)))))
+  | Sys_accept (fd, nonblock) -> (
+      match lookup_fd proc fd with
+      | Some (Fd_sock_listen l) -> (
+          match Socket.accept l with
+          | Some ep ->
+              let nfd = install_fd proc (Fd_sock ep) in
+              K.trace k "accept" "pid%d accepts on %s -> fd%d" proc.pid
+                (Socket.listener_name l) nfd;
+              K.complete k lwp ~op_cost:c.Cost.sock_accept (R_int nfd)
+          | None when nonblock -> K.complete k lwp (R_err Errno.EAGAIN)
+          | None ->
+              let alive = ref true in
+              K.block k lwp ~wchan:"accept" ~interruptible:true
+                ~indefinite:true
+                ~cancel:(fun () -> alive := false);
+              sock_accept_blocking k lwp l ~alive)
+      | Some _ -> K.complete k lwp (R_err Errno.EINVAL)
+      | None -> K.complete k lwp (R_err Errno.EBADF))
   | Sys_poll (fds, timeout) -> (
       let op_cost =
         Int64.add c.Cost.poll_fixed
@@ -554,13 +711,24 @@ let execute k lwp req =
         (* pay for the sleep-queue insertion before giving up the CPU *)
         let cpu = K.cpu_of k lwp in
         K.busy k cpu lwp c.Cost.sleep_enqueue (fun () ->
-            lwp.parked <- true;
-            K.block k lwp ~wchan:"lwp_park" ~interruptible:true
-              ~indefinite:(timeout = None)
-              ~cancel:(fun () -> lwp.parked <- false);
-            match timeout with
-            | Some t -> K.set_sleep_timeout k lwp t (R_err Errno.ETIMEDOUT)
-            | None -> ())
+            (* an unpark may have landed during the enqueue interval: it
+               saw parked=false and left a token.  Consume it instead of
+               blocking, or the wakeup is lost for good — nothing ever
+               re-examines the token once the LWP is asleep. *)
+            if lwp.park_token then begin
+              lwp.park_token <- false;
+              K.complete k lwp R_ok
+            end
+            else begin
+              lwp.parked <- true;
+              K.block k lwp ~wchan:"lwp_park" ~interruptible:true
+                ~indefinite:(timeout = None)
+                ~cancel:(fun () -> lwp.parked <- false);
+              match timeout with
+              | Some t ->
+                  K.set_sleep_timeout k lwp t (R_err Errno.ETIMEDOUT)
+              | None -> ()
+            end)
       end
   | Sys_lwp_unpark lid -> (
       match K.find_lwp proc lid with

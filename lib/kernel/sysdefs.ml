@@ -39,6 +39,9 @@ type sysreq =
   | Sys_munmap of Sunos_hw.Shared_memory.t
   | Sys_touch of Sunos_hw.Shared_memory.t * int
   | Sys_pipe
+  | Sys_listen of { name : string; backlog : int }
+  | Sys_connect of string
+  | Sys_accept of fd * bool (* nonblock *)
   | Sys_poll of poll_fd list * Sunos_sim.Time.span option
   | Sys_kill of int * Signo.t
   | Sys_lwp_kill of int * Signo.t
@@ -104,6 +107,9 @@ let sysreq_name = function
   | Sys_munmap _ -> "munmap"
   | Sys_touch _ -> "touch"
   | Sys_pipe -> "pipe"
+  | Sys_listen _ -> "listen"
+  | Sys_connect _ -> "connect"
+  | Sys_accept _ -> "accept"
   | Sys_poll _ -> "poll"
   | Sys_kill _ -> "kill"
   | Sys_lwp_kill _ -> "lwp_kill"

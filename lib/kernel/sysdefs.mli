@@ -61,6 +61,22 @@ type sysreq =
           free.  Non-resident: minor fault, plus disk I/O (blocking this
           LWP only) when file-backed. *)
   | Sys_pipe
+  | Sys_listen of { name : string; backlog : int }
+      (** Register a listening socket under a service name.  Returns the
+          listening fd; [EADDRINUSE] if the name is taken. *)
+  | Sys_connect of string
+      (** Open a connection to a named listener.  Blocks for the network
+          round trip; admission (or refusal: no/closed listener, full
+          backlog) is decided when the SYN arrives.  Returns the
+          connected fd or [ECONNREFUSED]. *)
+  | Sys_accept of fd * bool
+      (** Take the next established connection off a listening fd's
+          backlog.  With the flag false, blocks (interruptibly) while
+          the backlog is empty; closing the listening fd fails blocked
+          acceptors with [ECONNABORTED].  With the flag true
+          (non-blocking), an empty backlog returns [EAGAIN] instead —
+          this is how an event-driven server drains every pending
+          connection behind one poll readiness event. *)
   | Sys_poll of poll_fd list * Sunos_sim.Time.span option
       (** No timeout = indefinite wait (counts toward SIGWAITING). *)
   | Sys_kill of int * Signo.t

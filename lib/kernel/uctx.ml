@@ -158,6 +158,51 @@ let unlink path =
 let pipe () =
   match syscall Sys_pipe with R_fds (r, w) -> (r, w) | r -> fail "pipe" r
 
+let listen ~name ~backlog =
+  match syscall (Sys_listen { name; backlog }) with
+  | R_int fd -> fd
+  | r -> fail "listen" r
+
+let rec connect name =
+  match syscall (Sys_connect name) with
+  | R_int fd -> fd
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      connect name
+  | r -> fail "connect" r
+
+let rec accept fd =
+  match syscall (Sys_accept (fd, false)) with
+  | R_int nfd -> nfd
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      accept fd
+  | r -> fail "accept" r
+
+let accept_nb fd =
+  match syscall (Sys_accept (fd, true)) with
+  | R_int nfd -> Some nfd
+  | R_err Errno.EAGAIN -> None
+  | r -> fail "accept_nb" r
+
+(* Stream helpers: a bounded-buffer write can accept a prefix and a read
+   can return one, so framed protocols loop. *)
+let rec write_all fd data =
+  if String.length data > 0 then begin
+    let n = write fd data in
+    write_all fd (String.sub data n (String.length data - n))
+  end
+
+(* Read exactly [len] bytes; a short return means EOF truncated the
+   frame (callers validate the length). *)
+let rec read_exact fd ~len =
+  if len = 0 then ""
+  else
+    let chunk = read fd ~len in
+    if chunk = "" then ""
+    else if String.length chunk >= len then chunk
+    else chunk ^ read_exact fd ~len:(len - String.length chunk)
+
 let rec poll ?timeout fds =
   match syscall (Sys_poll (fds, timeout)) with
   | R_poll ready -> ready

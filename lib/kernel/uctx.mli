@@ -74,6 +74,36 @@ val lseek : Sysdefs.fd -> int -> unit
 val unlink : string -> unit
 val pipe : unit -> Sysdefs.fd * Sysdefs.fd
 
+(** {1 Sockets} *)
+
+val listen : name:string -> backlog:int -> Sysdefs.fd
+(** Register a listening socket under a service name; raises
+    [Unix_error (EADDRINUSE, _)] if the name is taken. *)
+
+val connect : string -> Sysdefs.fd
+(** Connect to a named listener; blocks one network round trip.  Raises
+    [Unix_error (ECONNREFUSED, _)] when there is no listener or its
+    backlog is full (callers typically back off and retry). *)
+
+val accept : Sysdefs.fd -> Sysdefs.fd
+(** Next established connection on a listening fd; blocks while the
+    backlog is empty.  Raises [Unix_error (ECONNABORTED, _)] if the
+    listening fd is closed underneath the wait. *)
+
+val accept_nb : Sysdefs.fd -> Sysdefs.fd option
+(** Non-blocking {!accept}: [None] while the backlog is empty.  An
+    event-driven server calls this in a loop after {!poll} reports the
+    listening fd readable, draining every pending connection behind a
+    single readiness event instead of paying a poll round trip each. *)
+
+val write_all : Sysdefs.fd -> string -> unit
+(** Loop {!write} until every byte is accepted (blocking on
+    backpressure as needed). *)
+
+val read_exact : Sysdefs.fd -> len:int -> string
+(** Loop {!read} until exactly [len] bytes arrive; a short string means
+    the peer closed mid-frame. *)
+
 val poll :
   ?timeout:Sunos_sim.Time.span -> Sysdefs.poll_fd list -> Sysdefs.fd list
 (** Restarted after signal handlers run; [[]] only on timeout. *)

@@ -1,42 +1,285 @@
 module Time = Sunos_sim.Time
 module Hist = Sunos_sim.Stats.Hist
 module Rng = Sunos_sim.Rng
-module Eventq = Sunos_sim.Eventq
 module Shm = Sunos_hw.Shared_memory
-module Machine = Sunos_hw.Machine
 module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
+module Errno = Sunos_kernel.Errno
+module Sysdefs = Sunos_kernel.Sysdefs
 module Fs = Sunos_kernel.Fs
-module Netchan = Sunos_kernel.Netchan
 
 type params = {
-  requests : int;
-  mean_interarrival_us : int;
+  connections : int;
+  requests_per_conn : int;
+  request_bytes : int;
+  reply_bytes : int;
   parse_compute_us : int;
   reply_compute_us : int;
+  think_time_us : int;
+  connect_stagger_us : int;
   disk_every : int;
+  workers : int;
+  concurrency : int;
+  client_concurrency : int;
+  listen_backlog : int;
   seed : int64;
 }
 
 let default_params =
   {
-    requests = 200;
-    mean_interarrival_us = 2_000;
+    connections = 40;
+    requests_per_conn = 3;
+    request_bytes = 64;
+    reply_bytes = 512;
     parse_compute_us = 150;
     reply_compute_us = 100;
+    think_time_us = 2_000;
+    connect_stagger_us = 0;
     disk_every = 4;
+    workers = 8;
+    concurrency = 4;
+    client_concurrency = 0;
+    listen_backlog = 16;
     seed = 31L;
   }
 
 type results = {
   served : int;
+  refused : int;
+  max_concurrent : int;
   latency : Hist.t;
   makespan : Time.span;
   throughput_rps : float;
   lwps_created : int;
+  syscalls : int;
 }
 
 let data_path = "/srv/data"
+let service_name = "svc"
+
+let pad msg len =
+  if String.length msg >= len then String.sub msg 0 len
+  else msg ^ String.make (len - String.length msg) '.'
+
+(* The server process: an acceptor thread feeds connections into a
+   polled set; a poller thread multiplexes the idle connections (plus a
+   self-pipe so workers can kick it) and dispatches readable ones to a
+   fixed worker pool through a mutex-protected queue.  One request in
+   flight per connection: a dispatched fd leaves the polled set until
+   its worker has written the reply. *)
+let server (module M : Sunos_baselines.Model.S) k p
+    ~(note_conn : int -> unit) () =
+  M.set_concurrency p.concurrency;
+  let lfd = Uctx.listen ~name:service_name ~backlog:p.listen_backlog in
+  let self_r, self_w = Uctx.pipe () in
+  let data_fd = Uctx.open_file data_path in
+  let file =
+    match Fs.lookup (Kernel.fs k) data_path with
+    | Some f -> f
+    | None -> assert false
+  in
+  let mu = M.Mu.create () in
+  let qsem = M.Sem.create 0 in
+  let asem = M.Sem.create 0 in
+  let workq : int Queue.t = Queue.create () in
+  let polled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let active = ref 0 and closed = ref 0 in
+  let accepting = ref true in
+  let accept_inflight = ref false in
+  let wake_pending = ref false in
+  (* Wake the poller at most once per poll cycle: set the dedup flag
+     under the lock, write the self-pipe byte outside it. *)
+  let signal_change mutate =
+    M.Mu.lock mu;
+    mutate ();
+    let need_byte = not !wake_pending in
+    wake_pending := true;
+    M.Mu.unlock mu;
+    if need_byte then ignore (Uctx.write self_w "!")
+  in
+  (* The acceptor never enters a blocking kernel accept: the poller
+     watches the listening fd and posts [asem] when a connection is
+     pending, and each credit is drained with non-blocking accepts until
+     the backlog is empty.  Draining matters at scale — poll is O(fds),
+     so at a thousand connections one readiness round trip per accept
+     would cap the accept rate far below the arrival rate. *)
+  let acceptor () =
+    let taken = ref 0 in
+    while !taken < p.connections do
+      M.Sem.p asem;
+      let rec drain () =
+        if !taken < p.connections then
+          match Uctx.accept_nb lfd with
+          | Some fd ->
+              incr taken;
+              let last = !taken = p.connections in
+              signal_change (fun () ->
+                  if last then accepting := false;
+                  incr active;
+                  note_conn !active;
+                  Hashtbl.replace polled fd ());
+              drain ()
+          | None -> ()
+      in
+      drain ();
+      signal_change (fun () -> accept_inflight := false)
+    done;
+    Uctx.close lfd
+  in
+  let nreq = ref 0 in
+  let worker () =
+    let rec loop () =
+      M.Sem.p qsem;
+      M.Mu.lock mu;
+      let fd = Queue.pop workq in
+      M.Mu.unlock mu;
+      if fd >= 0 then begin
+        (let first = Uctx.read fd ~len:p.request_bytes in
+         if first = "" then begin
+           (* client closed: retire the connection *)
+           Uctx.close fd;
+           signal_change (fun () ->
+               decr active;
+               incr closed)
+         end
+         else begin
+           (* delivery may have split the frame: finish it *)
+           let got = String.length first in
+           if got < p.request_bytes then
+             ignore (Uctx.read_exact fd ~len:(p.request_bytes - got));
+           Uctx.charge_us p.parse_compute_us;
+           incr nreq;
+           let off = !nreq * 512 mod 65536 in
+           if p.disk_every > 0 && !nreq mod p.disk_every = 0 then
+             (* cold read: evict the page so the disk path is real *)
+             Shm.evict (Fs.segment file)
+               ~page:(Shm.page_of_offset ~offset:off);
+           Uctx.lseek data_fd off;
+           ignore (Uctx.read data_fd ~len:512);
+           Uctx.charge_us p.reply_compute_us;
+           Uctx.write_all fd (pad "done" p.reply_bytes);
+           signal_change (fun () -> Hashtbl.replace polled fd ())
+         end);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let poller () =
+    let rec loop () =
+      M.Mu.lock mu;
+      wake_pending := false;
+      let base =
+        (* watch the listening fd while the acceptor is idle and still
+           has connections to take; an un-polled listening fd would
+           strand pending connections on a single-LWP server *)
+        if !accepting && not !accept_inflight then
+          [
+            { Sysdefs.pfd = self_r; want_in = true; want_out = false };
+            { Sysdefs.pfd = lfd; want_in = true; want_out = false };
+          ]
+        else [ { Sysdefs.pfd = self_r; want_in = true; want_out = false } ]
+      in
+      let fds =
+        Hashtbl.fold
+          (fun fd () acc ->
+            { Sysdefs.pfd = fd; want_in = true; want_out = false } :: acc)
+          polled base
+      in
+      let finished = !closed = p.connections in
+      M.Mu.unlock mu;
+      if not finished then begin
+        let ready = Uctx.poll fds in
+        if List.mem self_r ready then ignore (Uctx.read self_r ~len:4096);
+        M.Mu.lock mu;
+        let do_accept =
+          !accepting && (not !accept_inflight) && List.mem lfd ready
+        in
+        if do_accept then accept_inflight := true;
+        let dispatched =
+          List.filter (fun fd -> fd <> self_r && Hashtbl.mem polled fd) ready
+        in
+        List.iter
+          (fun fd ->
+            Hashtbl.remove polled fd;
+            Queue.add fd workq)
+          dispatched;
+        M.Mu.unlock mu;
+        if do_accept then M.Sem.v asem;
+        List.iter (fun _ -> M.Sem.v qsem) dispatched;
+        (* let the workers drain before re-polling — on a single-LWP
+           model the poll below would otherwise block the whole process
+           while work sits in the queue *)
+        M.yield ();
+        loop ()
+      end
+    in
+    loop ();
+    M.Mu.lock mu;
+    for _ = 1 to p.workers do
+      Queue.add (-1) workq
+    done;
+    M.Mu.unlock mu;
+    for _ = 1 to p.workers do
+      M.Sem.v qsem
+    done;
+    Uctx.close self_r;
+    Uctx.close self_w
+  in
+  let threads =
+    M.spawn acceptor :: M.spawn poller
+    :: List.init p.workers (fun _ -> M.spawn worker)
+  in
+  List.iter M.join threads
+
+(* The load generator: one client thread per connection, each running a
+   synchronous request/reply loop with exponential think time.  A
+   refused connect (no listener yet, or backlog full) backs off and
+   retries, so the arrival process adapts to the server exactly the way
+   a real client's SYN retransmit does. *)
+let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~refused
+    () =
+  (* every client thread holds an LWP while it sleeps or awaits a reply,
+     so modelling [connections] independent clients needs a pool that
+     size — otherwise the load generator, not the server, is the
+     bottleneck *)
+  M.set_concurrency
+    (if p.client_concurrency > 0 then p.client_concurrency
+     else p.concurrency);
+  let one cid () =
+    let rng =
+      Rng.create ~seed:(Int64.add p.seed (Int64.of_int (7919 * cid)))
+    in
+    (* arrival ramp: spreading connects keeps the backlog (and the
+       retry traffic) from swamping admission at time zero *)
+    if p.connect_stagger_us > 0 then
+      Uctx.sleep (Time.us (p.connect_stagger_us * (cid - 1)));
+    let rec connect_retry () =
+      match Uctx.connect service_name with
+      | fd -> fd
+      | exception Errno.Unix_error (Errno.ECONNREFUSED, _) ->
+          incr refused;
+          Uctx.sleep (Time.ms 2);
+          connect_retry ()
+    in
+    let fd = connect_retry () in
+    for r = 1 to p.requests_per_conn do
+      if p.think_time_us > 0 then
+        Uctx.sleep
+          (Time.us_f
+             (Rng.exponential rng ~mean:(float_of_int p.think_time_us)));
+      let t0 = Uctx.gettime () in
+      Uctx.write_all fd (pad (Printf.sprintf "r%d.%d" cid r) p.request_bytes);
+      let reply = Uctx.read_exact fd ~len:p.reply_bytes in
+      if String.length reply = p.reply_bytes then begin
+        Hist.add latency (Time.diff (Uctx.gettime ()) t0);
+        incr served
+      end
+    done;
+    Uctx.close fd
+  in
+  let ts = List.init p.connections (fun cid -> M.spawn (one (cid + 1))) in
+  List.iter M.join ts
 
 let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
   let k = Kernel.boot ~cpus ?cost () in
@@ -46,73 +289,29 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
       ignore (Fs.write f ~pos:0 (String.make 65536 's'));
       Shm.evict_all (Fs.segment f)
   | Error _ -> invalid_arg "Net_server.run: setup failed");
-  let chan = Netchan.create ~name:"service" in
   let latency = Hist.create "request latency" in
-  let served = ref 0 and makespan = ref Time.zero in
-  let inject_times = Hashtbl.create 64 in
-  let app () =
-    let fd = Uctx.open_net chan in
-    let data_fd = Uctx.open_file data_path in
-    let file =
-      match Fs.lookup (Kernel.fs k) data_path with
-      | Some f -> f
-      | None -> assert false
-    in
-    let handle reqno () =
-      Uctx.charge_us p.parse_compute_us;
-      if reqno mod p.disk_every = 0 then begin
-        (* cold read: evict the page first so the disk path is real *)
-        let off = reqno * 512 mod 65536 in
-        Shm.evict (Fs.segment file) ~page:(Shm.page_of_offset ~offset:off);
-        Uctx.lseek data_fd off;
-        ignore (Uctx.read data_fd ~len:512)
-      end
-      else begin
-        Uctx.lseek data_fd (reqno * 512 mod 65536);
-        ignore (Uctx.read data_fd ~len:512)
-      end;
-      Uctx.charge_us p.reply_compute_us;
-      ignore (Uctx.write fd (Printf.sprintf "done:%d" reqno));
-      (match Hashtbl.find_opt inject_times reqno with
-      | Some t0 -> Hist.add latency (Time.diff (Uctx.gettime ()) t0)
-      | None -> ());
-      incr served
-    in
-    let rec dispatch workers remaining =
-      if remaining = 0 then workers
-      else
-        let msg = Uctx.read fd ~len:64 in
-        match int_of_string_opt msg with
-        | Some reqno ->
-            let t = M.spawn (handle reqno) in
-            dispatch (t :: workers) (remaining - 1)
-        | None -> dispatch workers remaining
-    in
-    let workers = dispatch [] p.requests in
-    List.iter M.join workers;
-    makespan := Uctx.gettime ()
+  let served = ref 0 and refused = ref 0 in
+  let max_concurrent = ref 0 in
+  let makespan = ref Time.zero in
+  let note_conn n = if n > !max_concurrent then max_concurrent := n in
+  let finishing body () =
+    body ();
+    let t = Uctx.gettime () in
+    if Time.(t > !makespan) then makespan := t
   in
-  ignore (Kernel.spawn k ~name:"server" ~main:(M.boot ?cost app));
-  let rng = Rng.create ~seed:p.seed in
-  let eventq = (Kernel.machine k).Machine.eventq in
-  let rec inject n at =
-    if n <= p.requests then
-      ignore
-        (Eventq.at eventq at (fun () ->
-             Hashtbl.replace inject_times n (Eventq.now eventq);
-             Netchan.inject chan
-               { Netchan.payload = string_of_int n; reply_to = ignore };
-             let gap =
-               Time.us_f
-                 (Rng.exponential rng
-                    ~mean:(float_of_int p.mean_interarrival_us))
-             in
-             inject (n + 1) (Time.add (Eventq.now eventq) gap)))
-  in
-  inject 1 (Time.us 1);
+  ignore
+    (Kernel.spawn k ~name:"net-server"
+       ~main:(M.boot ?cost (finishing (server (module M) k p ~note_conn))));
+  ignore
+    (Kernel.spawn k ~name:"loadgen"
+       ~main:
+         (M.boot ?cost
+            (finishing (client (module M) p ~latency ~served ~refused))));
   Kernel.run k;
   {
     served = !served;
+    refused = !refused;
+    max_concurrent = !max_concurrent;
     latency;
     makespan = !makespan;
     throughput_rps =
@@ -120,10 +319,12 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
          float_of_int !served /. Time.to_s !makespan
        else 0.);
     lwps_created = Kernel.lwp_create_count k;
+    syscalls = Kernel.syscall_count k;
   }
 
 let pp_results ppf r =
   Format.fprintf ppf
-    "served=%d makespan=%a throughput=%.0f req/s lwps=%d latency: %a" r.served
-    Time.pp r.makespan r.throughput_rps r.lwps_created Hist.pp_summary
-    r.latency
+    "served=%d refused=%d peak_conns=%d makespan=%a throughput=%.0f req/s \
+     lwps=%d latency: %a"
+    r.served r.refused r.max_concurrent Time.pp r.makespan r.throughput_rps
+    r.lwps_created Hist.pp_summary r.latency

@@ -1,32 +1,54 @@
-(** The network-server workload from the paper's introduction: requests
-    arrive over the network; serving one may require file I/O (and, in
-    the paper's words, the server "may indirectly need its own service —
-    and therefore another thread of control").
+(** The network-server workload from the paper's introduction, rebuilt
+    as a proper event-driven server over the kernel socket subsystem.
 
-    A dispatcher thread reads the wire and hands each request to a fresh
-    thread, which parses (CPU), reads a file (disk when cold), and
-    replies.  Runs on any {!Sunos_baselines.Model.S}: the M:N model gives
-    cheap per-request threads whose disk waits block only an LWP; the
-    user-level-only model stalls the whole server on every cold read;
-    the 1:1 model pays a kernel thread creation per request. *)
+    The server process runs an acceptor thread (blocking [accept] loop),
+    a poller thread that multiplexes idle connections with [poll] (plus
+    a self-pipe so workers can wake it), and a fixed pool of worker
+    threads.  Each request costs parse CPU, a file read (cold every
+    [disk_every]-th request, hitting the disk), reply CPU, and the reply
+    write — which can block on socket backpressure when the client is
+    slow.  A separate load-generator process opens [connections]
+    concurrent connections, each issuing [requests_per_conn] synchronous
+    request/reply rounds with exponential think time; refused connects
+    (backlog overflow) back off and retry.
+
+    Runs on any {!Sunos_baselines.Model.S}: M:N serves cheap concurrency
+    with a few LWPs; the user-level-only model stalls the whole server
+    on every cold read; 1:1 pays an LWP per thread on both sides. *)
 
 type params = {
-  requests : int;
-  mean_interarrival_us : int;
+  connections : int;  (** concurrent client connections *)
+  requests_per_conn : int;
+  request_bytes : int;  (** fixed request frame size *)
+  reply_bytes : int;  (** fixed reply frame size *)
   parse_compute_us : int;
   reply_compute_us : int;
+  think_time_us : int;  (** mean client think time between requests *)
+  connect_stagger_us : int;
+      (** arrival ramp: client [i] delays its connect by [i * this] *)
   disk_every : int;  (** every n-th request needs a cold file read *)
+  workers : int;  (** server worker-pool size *)
+  concurrency : int;  (** server LWP-pool hint *)
+  client_concurrency : int;
+      (** load-generator LWP-pool hint (0 = same as [concurrency]).
+          A client thread holds an LWP while sleeping or awaiting a
+          reply, so modelling [connections] truly independent clients
+          needs a pool that size. *)
+  listen_backlog : int;
   seed : int64;
 }
 
 val default_params : params
 
 type results = {
-  served : int;
-  latency : Sunos_sim.Stats.Hist.t;
+  served : int;  (** complete replies received by clients *)
+  refused : int;  (** connect refusals (each retried until admitted) *)
+  max_concurrent : int;  (** peak simultaneously-accepted connections *)
+  latency : Sunos_sim.Stats.Hist.t;  (** client-side request round trip *)
   makespan : Sunos_sim.Time.span;
   throughput_rps : float;
   lwps_created : int;
+  syscalls : int;
 }
 
 val run :

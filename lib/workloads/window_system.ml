@@ -1,11 +1,9 @@
 module Time = Sunos_sim.Time
 module Hist = Sunos_sim.Stats.Hist
 module Rng = Sunos_sim.Rng
-module Eventq = Sunos_sim.Eventq
 module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
-module Netchan = Sunos_kernel.Netchan
-module Machine = Sunos_hw.Machine
+module Errno = Sunos_kernel.Errno
 
 type params = {
   widgets : int;
@@ -34,18 +32,27 @@ type results = {
   threads_created : int;
 }
 
+(* Events travel as fixed 32-byte frames "widget stamp" (space padded)
+   so the reader can reframe the byte stream exactly. *)
+let frame_len = 32
+
+let frame w stamp =
+  let s = Printf.sprintf "%d %Ld" w stamp in
+  s ^ String.make (frame_len - String.length s) ' '
+
 (* One widget = an input handler and an output handler, coupled by a
-   semaphore pair and a mailbox of pending event timestamps. *)
+   semaphore pair and a mailbox of pending event timestamps.  The X
+   server side listens on a socket; a client process connects and
+   writes the event stream with Poisson spacing. *)
 let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
   let k = Kernel.boot ~cpus ?cost () in
   Kernel.set_tracing k false;
-  let chan = Netchan.create ~name:"xwire" in
   let latency = Hist.create "event latency" in
   let handled = ref 0 in
   let threads_created = ref 0 in
   let makespan = ref Time.zero in
   let app () =
-    let fd = Uctx.open_net chan in
+    let lfd = Uctx.listen ~name:"xwire" ~backlog:1 in
     (* per-widget plumbing *)
     let in_sem = Array.init p.widgets (fun _ -> M.Sem.create 0) in
     let out_sem = Array.init p.widgets (fun _ -> M.Sem.create 0) in
@@ -88,13 +95,14 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
           [ M.spawn (input_handler w); M.spawn (output_handler w) ])
         (List.init p.widgets (fun w -> w))
     in
-    threads_created := (2 * p.widgets) + 1;
+    (* both process mains plus the handler pairs *)
+    threads_created := (2 * p.widgets) + 2;
     (* the wire reader: demultiplex events to widgets *)
+    let fd = Uctx.accept lfd in
     let rec serve remaining =
       if remaining > 0 then begin
-        let msg = Uctx.read fd ~len:64 in
-        (* "widget stamp": latency is measured from injection time *)
-        match String.split_on_char ' ' msg with
+        let msg = Uctx.read_exact fd ~len:frame_len in
+        match String.split_on_char ' ' (String.trim msg) with
         | [ ws; ts ] -> (
             match (int_of_string_opt ws, Int64.of_string_opt ts) with
             | Some w, Some stamp when w >= 0 && w < p.widgets ->
@@ -106,6 +114,8 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
       end
     in
     serve p.events;
+    Uctx.close fd;
+    Uctx.close lfd;
     (* drain: an empty-box wakeup is the shutdown token; it propagates
        through each widget's pipeline *)
     for w = 0 to p.widgets - 1 do
@@ -114,29 +124,29 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
     List.iter M.join handlers;
     makespan := Uctx.gettime ()
   in
-  ignore (Kernel.spawn k ~name:"windows" ~main:(M.boot ?cost app));
-  (* event injection: Poisson arrivals addressed to random widgets *)
-  let rng = Rng.create ~seed:p.seed in
-  let eventq = (Kernel.machine k).Machine.eventq in
-  let rec inject n at =
-    if n > 0 then
-      ignore
-        (Eventq.at eventq at (fun () ->
-             Netchan.inject chan
-               {
-                 Netchan.payload =
-                   Printf.sprintf "%d %Ld" (Rng.int rng p.widgets)
-                     (Eventq.now eventq);
-                 reply_to = ignore;
-               };
-             let gap =
-               Time.us_f
-                 (Rng.exponential rng
-                    ~mean:(float_of_int p.mean_interarrival_us))
-             in
-             inject (n - 1) (Time.add (Eventq.now eventq) gap)))
+  (* event injection: a client process with Poisson arrivals addressed
+     to random widgets *)
+  let injector () =
+    let rng = Rng.create ~seed:p.seed in
+    let rec connect_retry () =
+      match Uctx.connect "xwire" with
+      | fd -> fd
+      | exception Errno.Unix_error (Errno.ECONNREFUSED, _) ->
+          Uctx.sleep (Time.us 200);
+          connect_retry ()
+    in
+    let fd = connect_retry () in
+    for _ = 1 to p.events do
+      Uctx.sleep
+        (Time.us_f
+           (Rng.exponential rng
+              ~mean:(float_of_int p.mean_interarrival_us)));
+      Uctx.write_all fd (frame (Rng.int rng p.widgets) (Uctx.gettime ()))
+    done;
+    Uctx.close fd
   in
-  inject p.events (Time.us 1);
+  ignore (Kernel.spawn k ~name:"windows" ~main:(M.boot ?cost app));
+  ignore (Kernel.spawn k ~name:"xclient" ~main:(M.boot ?cost injector));
   Kernel.run k;
   {
     handled = !handled;

@@ -254,6 +254,73 @@ let test_pending_signal_fails_sleep_entry () =
          List.iter (fun t -> ignore (T.wait ~thread:t ())) ts));
   Alcotest.(check int) "all sleepers woke" 3 !woke
 
+(* BUG 11: Sys_lwp_park checked the unpark token only at syscall entry;
+   an unpark landing during the sleep-queue-insertion busy interval saw
+   parked=false, left a token, and the park then blocked anyway — the
+   token was never re-examined and the LWP slept forever (surfaced as a
+   lost semaphore V in the 1:1 window-system run: the waker had already
+   popped the waitq entry, so later V's just piled onto the count).  The
+   park now re-checks the token after the busy interval.  Scan the
+   unpark across the whole window to pin the race. *)
+let test_unpark_during_park_entry () =
+  (* one run where the parker parks and the unparker fires at [at]
+     (absolute); returns (park entry time, woke) *)
+  let run_at at =
+    let woke = ref false and t_park = ref Time.zero in
+    let k = Kernel.boot ~cpus:2 () in
+    ignore
+      (Kernel.spawn k ~name:"parker" ~main:(fun () ->
+           let lid = Uctx.getlwpid () in
+           ignore
+             (Uctx.lwp_create
+                ~entry:(fun () ->
+                  let d = Time.diff at (Uctx.gettime ()) in
+                  if Time.(d > 0L) then Uctx.sleep d;
+                  Uctx.lwp_unpark lid)
+                ());
+           t_park := Uctx.gettime ();
+           (match Uctx.lwp_park () with `Parked | `Timeout -> ());
+           woke := true));
+    Kernel.run k;
+    (!t_park, !woke)
+  in
+  (* calibrate: find when the park entry happens (the unpark fires long
+     after, so this run always completes), then sweep the unparker's
+     start time across the park entry.  The sweep is wide because the
+     unpark takes effect a dispatch + a couple of syscalls after the
+     unparker wakes; with the race present, ~20 of these offsets landed
+     the unpark inside the park's sleep-enqueue interval and the parker
+     slept forever. *)
+  let t_park, _ = run_at (Time.ms 50) in
+  let lost = ref [] in
+  for d = 0 to 50 do
+    let off = (8 * d) - 300 in
+    let _, woke = run_at (Time.add t_park (Time.us off)) in
+    if not woke then lost := off :: !lost
+  done;
+  Alcotest.(check (list int)) "every unpark offset wakes the parker" []
+    (List.rev !lost)
+
+(* BUG 12: the net-server workload must be bit-identical across same-seed
+   runs — the event-driven server (poller + acceptor + worker pool over
+   sockets) must not depend on wall-clock, hash order, or any other
+   nondeterminism. *)
+let test_net_server_same_seed_identical () =
+  let module S = Sunos_workloads.Net_server in
+  let p =
+    { S.default_params with connections = 12; requests_per_conn = 2 }
+  in
+  let a = S.run (module Sunos_baselines.Mt) ~cpus:2 p in
+  let b = S.run (module Sunos_baselines.Mt) ~cpus:2 p in
+  Alcotest.(check int) "served equal" a.S.served b.S.served;
+  Alcotest.(check int) "refused equal" a.S.refused b.S.refused;
+  Alcotest.(check int) "peak connections equal" a.S.max_concurrent
+    b.S.max_concurrent;
+  Alcotest.(check int) "lwps equal" a.S.lwps_created b.S.lwps_created;
+  Alcotest.(check int) "syscalls equal" a.S.syscalls b.S.syscalls;
+  Alcotest.(check bool) "makespan identical" true
+    (Time.compare a.S.makespan b.S.makespan = 0)
+
 let () =
   Alcotest.run "regressions"
     [
@@ -278,5 +345,9 @@ let () =
           Alcotest.test_case "idle park race" `Quick test_idle_park_race;
           Alcotest.test_case "pending signal fails sleep entry" `Quick
             test_pending_signal_fails_sleep_entry;
+          Alcotest.test_case "unpark during park entry" `Quick
+            test_unpark_during_park_entry;
+          Alcotest.test_case "net server same-seed identical" `Quick
+            test_net_server_same_seed_identical;
         ] );
     ]

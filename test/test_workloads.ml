@@ -37,13 +37,15 @@ let test_windows_deterministic () =
   Alcotest.(check bool) "same seed, same makespan" true
     (Time.compare a.W.makespan b.W.makespan = 0)
 
-let small_s = { S.default_params with requests = 60 }
+let small_s =
+  { S.default_params with connections = 10; requests_per_conn = 2; workers = 4 }
 
 let test_server_all_models_complete () =
   List.iter
     (fun (module M : Sunos_baselines.Model.S) ->
       let r = S.run (module M) ~cpus:1 small_s in
-      Alcotest.(check int) (M.name ^ ": all served") small_s.S.requests
+      Alcotest.(check int) (M.name ^ ": all served")
+        (small_s.S.connections * small_s.S.requests_per_conn)
         r.S.served)
     Sunos_baselines.Model.all
 
