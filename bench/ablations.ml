@@ -84,8 +84,8 @@ let sigwaiting () =
    spinning burns. *)
 let mutexes () =
   section "A3: spin vs sleep vs adaptive mutexes (2 CPUs, 3 bound threads)";
-  let run_case variant ~cs_us =
-    let k = Kernel.boot ~cpus:2 () in
+  let run_case ?cost variant ~cs_us =
+    let k = Kernel.boot ~cpus:2 ?cost () in
     Kernel.set_tracing k false;
     let makespan = ref Time.zero and cpu_used = ref 0L in
     ignore
@@ -128,7 +128,23 @@ let mutexes () =
       let m2, c2 = run_case v ~cs_us:3000 in
       Printf.printf "  %-10s %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" name m1
         c1 m2 c2)
-    [ ("spin", Mutex.Spin); ("sleep", Mutex.Sleep); ("adaptive", Mutex.Adaptive) ]
+    [ ("spin", Mutex.Spin); ("sleep", Mutex.Sleep); ("adaptive", Mutex.Adaptive) ];
+  (* the adaptive variant's spin budget, swept through the cost model
+     (Basic Lock Algorithms in Lightweight Thread Environments): a short
+     budget degenerates to sleep, an over-long one to spin *)
+  Printf.printf "\nadaptive spin budget sweep (probes before sleeping):\n";
+  Printf.printf "  %-10s %26s %26s\n" "budget" "short CS (40us)"
+    "long CS (3000us)";
+  List.iter
+    (fun limit ->
+      let cost =
+        { Sunos_hw.Cost_model.default with adaptive_spin_limit = limit }
+      in
+      let m1, c1 = run_case ~cost Mutex.Adaptive ~cs_us:40 in
+      let m2, c2 = run_case ~cost Mutex.Adaptive ~cs_us:3000 in
+      Printf.printf "  %-10d %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" limit m1
+        c1 m2 c2)
+    [ 0; 1; 5; 20; 100 ]
 
 (* A4: fork vs fork1 as the LWP population grows. *)
 let forks () =

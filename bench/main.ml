@@ -28,6 +28,12 @@ let targets : (string * string * (unit -> unit)) list =
     ("ablation-microtask", "raw-LWP language runtime vs bound threads", Ablations.microtask);
     ("ablation-broadcast", "single signal delivery vs Chorus broadcast", Ablations.broadcast);
     ("wallclock", "Bechamel microbenchmarks of the engine", Wallclock.benchmark);
+    ( "wallclock-scaling",
+      "wall-clock of engine-stressing workloads; emits BENCH_wallclock.json",
+      Wallclock.scaling );
+    ( "wallclock-smoke",
+      "reduced-scale wallclock sections with a 5x regression gate",
+      Wallclock.smoke );
   ]
 
 let run_all () =

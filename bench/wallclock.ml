@@ -66,6 +66,229 @@ let test_sim_thread_roundtrip =
                      ignore (T.wait ~thread:t ()))));
          Kernel.run k))
 
+(* ------------------------------------------------------------------ *)
+(* Scaling sections: wall-clock of whole simulated workloads            *)
+(* ------------------------------------------------------------------ *)
+
+(* Each section times one engine-stressing workload at full scale (the
+   [scaling] target, which also emits BENCH_wallclock.json at the
+   invoker's cwd — run it from the repo root) and at reduced scale (the
+   [smoke] target wired into dune runtest, which fails when a section
+   regresses by more than 5x over its recorded baseline, catching
+   accidental quadratic reintroductions).
+
+   [before_s] is the wall-clock recorded on the PR 1 tree (pre O(1)
+   dispatcher / lazy tracing / event-queue compaction) on the reference
+   container; [smoke_baseline_s] is the post-rewrite smoke-scale
+   recording that the 5x regression gate compares against. *)
+
+module S = Sunos_workloads.Net_server
+module Db = Sunos_workloads.Database
+module Microbench = Sunos_workloads.Microbench
+
+let server_conns ~conns ~cpus () =
+  let p =
+    {
+      S.default_params with
+      connections = conns;
+      requests_per_conn = 3;
+      think_time_us = 5_000_000;
+      connect_stagger_us = 1_000;
+      parse_compute_us = 80;
+      reply_compute_us = 60;
+      disk_every = 64;
+      workers = 8;
+      concurrency = 2 * cpus;
+      client_concurrency = conns;
+      listen_backlog = 512;
+    }
+  in
+  ignore (S.run (module Sunos_baselines.Mt) ~cpus p)
+
+let server_compute ~conns ~cpus () =
+  let p =
+    {
+      S.default_params with
+      connections = conns;
+      requests_per_conn = 10;
+      think_time_us = 2_000;
+      connect_stagger_us = 200;
+      parse_compute_us = 1_600;
+      reply_compute_us = 1_200;
+      disk_every = 0;
+      workers = 16;
+      concurrency = 6;
+      client_concurrency = conns;
+      listen_backlog = 64;
+    }
+  in
+  ignore (S.run (module Sunos_baselines.Mt) ~cpus p)
+
+let database ~processes ~threads ~txns () =
+  let p =
+    {
+      Db.default_params with
+      processes;
+      threads_per_process = threads;
+      transactions_per_thread = txns;
+      records = 64;
+    }
+  in
+  ignore (Db.run ~cpus:2 p)
+
+(* Dispatch-bound: one CPU, many kernel LWPs ping-ponging through short
+   charge/sleep cycles, so the run queue stays deep and the dispatcher
+   itself dominates the wall-clock. *)
+let dispatch_storm ~lwps ~iters () =
+  let k = Kernel.boot ~cpus:1 () in
+  Kernel.set_tracing k false;
+  ignore
+    (Kernel.spawn k ~name:"storm" ~main:(fun () ->
+         for _ = 1 to lwps do
+           ignore
+             (Uctx.lwp_create
+                ~entry:(fun () ->
+                  for _ = 1 to iters do
+                    Uctx.charge_us 50;
+                    Uctx.sleep (Sunos_sim.Time.us 200)
+                  done;
+                  Uctx.lwp_exit ())
+                ())
+         done));
+  Kernel.run k
+
+(* Cancel-heavy churn: the net server's poll-timeout pattern.  A long
+   timeout is re-armed (schedule + cancel) on every short event, so
+   cancelled handles pile up in the heap unless the queue compacts. *)
+let eventq_churn n () =
+  let q = Eventq.create () in
+  let timeout = ref None in
+  let rec tick i =
+    if i < n then begin
+      (match !timeout with Some h -> Eventq.cancel h | None -> ());
+      timeout := Some (Eventq.after q 1_000_000L ignore);
+      ignore (Eventq.after q 10L (fun () -> tick (i + 1)))
+    end
+  in
+  tick 0;
+  Eventq.run q
+
+type section = {
+  name : string;
+  before_s : float;  (* recorded pre-rewrite, full scale *)
+  smoke_baseline_s : float;  (* recorded post-rewrite, smoke scale *)
+  full : unit -> unit;
+  smoke : unit -> unit;
+}
+
+let sections =
+  [
+    {
+      name = "server-1000conn";
+      before_s = 2.295;
+      smoke_baseline_s = 0.038;
+      full = server_conns ~conns:1000 ~cpus:4;
+      smoke = server_conns ~conns:100 ~cpus:2;
+    };
+    {
+      name = "server-compute";
+      before_s = 0.179;
+      smoke_baseline_s = 0.010;
+      full = server_compute ~conns:200 ~cpus:4;
+      smoke = server_compute ~conns:40 ~cpus:2;
+    };
+    {
+      name = "database";
+      before_s = 0.183;
+      smoke_baseline_s = 0.002;
+      full = database ~processes:4 ~threads:16 ~txns:250;
+      smoke = database ~processes:2 ~threads:6 ~txns:15;
+    };
+    {
+      name = "microbench-sync";
+      before_s = 0.007;
+      smoke_baseline_s = 0.006;
+      full = (fun () -> ignore (Microbench.sync ()));
+      smoke = (fun () -> ignore (Microbench.sync ()));
+    };
+    {
+      name = "dispatch-storm";
+      before_s = 0.737;
+      smoke_baseline_s = 0.003;
+      full = dispatch_storm ~lwps:500 ~iters:200;
+      smoke = dispatch_storm ~lwps:60 ~iters:20;
+    };
+    {
+      name = "eventq-churn";
+      before_s = 0.127;
+      smoke_baseline_s = 0.001;
+      full = eventq_churn 200_000;
+      smoke = eventq_churn 20_000;
+    };
+  ]
+
+let time_one f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let emit_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"wallclock\",\n";
+  Printf.fprintf oc
+    "  \"note\": \"before_s recorded on the pre-PR2 tree (per-dispatch \
+     queue rebuild, eager trace formatting, no event-queue compaction); \
+     after_s measured on this tree\",\n";
+  Printf.fprintf oc "  \"sections\": [\n";
+  List.iteri
+    (fun i (name, before, after) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"before_s\": %.3f, \"after_s\": %.3f, \
+         \"speedup\": %.2f}%s\n"
+        name before after
+        (if after > 0. then before /. after else 0.)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let scaling () =
+  Printf.printf
+    "\n=== W2: wall-clock of engine-stressing workloads (full scale) ===\n\n";
+  Printf.printf "  %-18s %10s %10s %8s\n" "section" "before (s)" "after (s)"
+    "speedup";
+  let rows =
+    List.map
+      (fun s ->
+        let t = time_one s.full in
+        Printf.printf "  %-18s %10.3f %10.3f %7.1fx\n%!" s.name s.before_s t
+          (if t > 0. then s.before_s /. t else 0.);
+        (s.name, s.before_s, t))
+      sections
+  in
+  emit_json "BENCH_wallclock.json" rows;
+  Printf.printf "\n(wrote BENCH_wallclock.json)\n"
+
+let smoke () =
+  Printf.printf "\n=== wallclock smoke: 5x regression gate ===\n\n";
+  let failures =
+    List.filter_map
+      (fun s ->
+        let t = time_one s.smoke in
+        (* absolute floor keeps sub-10ms sections out of timer noise *)
+        let allowed = Float.max (5. *. s.smoke_baseline_s) 0.25 in
+        Printf.printf "  %-18s %8.3fs (allowed %.3fs)%s\n%!" s.name t allowed
+          (if t > allowed then "  REGRESSED" else "");
+        if t > allowed then Some s.name else None)
+      sections
+  in
+  if failures <> [] then begin
+    Printf.eprintf "wallclock smoke: regression in %s\n"
+      (String.concat ", " failures);
+    exit 1
+  end
+
 let benchmark () =
   let tests =
     [ test_pheap; test_eventq; test_fiber; test_sim_thread_roundtrip ]

@@ -85,14 +85,16 @@ let enter_private s self =
         spin_until_free c s;
         s.owner <- Some self
     | Adaptive ->
-        (* spin briefly while the owner is on a CPU, else sleep *)
+        (* spin briefly while the owner is on a CPU, else sleep; the
+           budget lives in the cost model so ablations can sweep it *)
         let spins = ref 0 in
+        let limit = c.Cost.adaptive_spin_limit in
         let owner_running () =
           match s.owner with
           | Some o -> o.tstate = Trunning
           | None -> false
         in
-        while s.owner <> None && owner_running () && !spins < 5 do
+        while s.owner <> None && owner_running () && !spins < limit do
           Uctx.charge c.Cost.sync_fast;
           incr spins
         done;

@@ -44,6 +44,10 @@ type t = {
   tty_latency : Time.span;
   quantum : Time.span;
   clock_tick : Time.span;
+  adaptive_spin_limit : int;
+      (* probes an adaptive mutex makes while the owner runs before it
+         gives up and sleeps; a count, not a time, so [scale] leaves it
+         alone (ablations sweep it per the lock-algorithms literature) *)
 }
 
 (* Calibration notes.  Component values are 1991-plausible path lengths at
@@ -100,6 +104,7 @@ let default =
     tty_latency = Time.ms 1;
     quantum = Time.ms 100;
     clock_tick = Time.ms 10;
+    adaptive_spin_limit = 5;
   }
 
 let free =
@@ -147,6 +152,7 @@ let free =
     tty_latency = 0L;
     quantum = Time.ms 100;
     clock_tick = Time.ms 10;
+    adaptive_spin_limit = 5;
   }
 
 let scale f c =
@@ -195,4 +201,5 @@ let scale f c =
     tty_latency = s c.tty_latency;
     quantum = s c.quantum;
     clock_tick = s c.clock_tick;
+    adaptive_spin_limit = c.adaptive_spin_limit;
   }

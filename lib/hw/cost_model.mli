@@ -69,6 +69,10 @@ type t = {
   (* --- scheduler parameters ------------------------------------------ *)
   quantum : Sunos_sim.Time.span;  (** timeshare scheduling quantum *)
   clock_tick : Sunos_sim.Time.span;  (** 100 Hz clock *)
+  adaptive_spin_limit : int;
+      (** probes an adaptive mutex makes while the owner is on a CPU
+          before it gives up and sleeps.  A count, not a duration —
+          [scale] leaves it unchanged; ablations sweep it *)
 }
 
 val default : t
@@ -78,4 +82,5 @@ val free : t
 (** Everything costs zero — for semantic tests where time is noise. *)
 
 val scale : float -> t -> t
-(** Multiply every cost by a factor (device times and quantum included). *)
+(** Multiply every cost by a factor (device times and quantum included;
+    [adaptive_spin_limit] is a count and is left unchanged). *)

@@ -39,6 +39,9 @@ let exit_status k pid =
 let tty_input k line = Sunos_hw.Devices.Tty.type_input (machine k).Machine.tty line
 let trace_records k = Sunos_sim.Tracebuf.records (machine k).Machine.trace
 let set_tracing k b = Sunos_sim.Tracebuf.set_enabled (machine k).Machine.trace b
+
+let set_trace_tags k tags =
+  Sunos_sim.Tracebuf.set_interest (machine k).Machine.trace tags
 let syscall_count (k : t) = Counter.value k.Ktypes.ctr_syscalls
 let dispatch_count (k : t) = Counter.value k.Ktypes.ctr_dispatches
 let preemption_count (k : t) = Counter.value k.Ktypes.ctr_preemptions

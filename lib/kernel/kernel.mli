@@ -49,6 +49,11 @@ val tty_input : t -> string -> unit
 val trace_records : t -> Sunos_sim.Tracebuf.record list
 val set_tracing : t -> bool -> unit
 
+val set_trace_tags : t -> string list option -> unit
+(** Restrict tracing to the given tags ([None], the default, records
+    all).  Message formatting is skipped entirely for filtered-out tags,
+    so a narrow filter keeps tracing cheap on hot paths. *)
+
 val syscall_count : t -> int
 val dispatch_count : t -> int
 val preemption_count : t -> int

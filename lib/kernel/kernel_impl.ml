@@ -18,6 +18,7 @@ module Counter = Sunos_sim.Stats.Counter
 module Machine = Sunos_hw.Machine
 module Cpu = Sunos_hw.Cpu
 module Cost = Sunos_hw.Cost_model
+module Prioq = Sunos_sim.Prioq
 
 let cost k = k.machine.Machine.cost
 let now k = Machine.now k.machine
@@ -32,7 +33,12 @@ let create ~machine =
     sockets = Socket.create_registry ();
     procs = [];
     next_pid = 1;
-    queues = Array.init (max_global_prio + 1) (fun _ -> Queue.create ());
+    runq = Prioq.create ~levels:(max_global_prio + 1);
+    cpu_runqs =
+      Array.init
+        (Array.length machine.Machine.cpus)
+        (fun _ -> Prioq.create ~levels:(max_global_prio + 1));
+    runq_seq = 0;
     gangs = Hashtbl.create 8;
     futex = Hashtbl.create 64;
     ctr_syscalls = Counter.create "syscalls";
@@ -61,68 +67,83 @@ let release_cpu k cpu = Cpu.set_occupant cpu ~now:(now k) None
 (* Run queues                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* An LWP bound to a CPU is routed to that CPU's side queue at enqueue
+   time (binding only ever changes while the LWP is running, never while
+   it sits queued), so picks never have to skip over — let alone rebuild
+   around — entries another CPU owns.  The kernel-wide [runq_seq] stamps
+   every entry so the unbound queue and a CPU's side queue stay in
+   global FIFO order within a priority. *)
 let enqueue k lwp =
   lwp.runq_gen <- lwp.runq_gen + 1;
   match lwp.cls with
   | Sc_gang _ -> ()  (* gang members are placed by gang_place *)
   | Sc_timeshare _ | Sc_realtime _ ->
-      Queue.add (lwp, lwp.runq_gen) k.queues.(global_prio lwp)
-
-(* Pop the best eligible LWP for [cpu], skipping stale entries and
-   entries bound to other CPUs (which are preserved in order). *)
-let pick k cpu =
-  let rec at_prio prio =
-    if prio < 0 then None
-    else
-      let q = k.queues.(prio) in
-      let skipped = ref [] in
-      let rec scan () =
-        match Queue.take_opt q with
-        | None ->
-            (* restore the skipped (bound-elsewhere) entries in order *)
-            let rest = List.of_seq (Queue.to_seq q) in
-            Queue.clear q;
-            List.iter (fun e -> Queue.add e q) (List.rev !skipped);
-            List.iter (fun e -> Queue.add e q) rest;
-            at_prio (prio - 1)
-        | Some ((lwp, gen) as e) ->
-            if
-              lwp.runq_gen <> gen || lwp.lstate <> Lrunnable
-              || global_prio lwp <> prio
-            then scan ()
-            else begin
-              match lwp.bound_cpu with
-              | Some c when c <> Cpu.id cpu ->
-                  skipped := e :: !skipped;
-                  scan ()
-              | _ ->
-                  let rest = List.of_seq (Queue.to_seq q) in
-                  Queue.clear q;
-                  List.iter (fun x -> Queue.add x q) (List.rev !skipped);
-                  List.iter (fun x -> Queue.add x q) rest;
-                  Some lwp
-            end
+      let seq = k.runq_seq in
+      k.runq_seq <- seq + 1;
+      let entry = (lwp, lwp.runq_gen, seq) in
+      let q =
+        match lwp.bound_cpu with
+        | Some c -> k.cpu_runqs.(c)
+        | None -> k.runq
       in
-      scan ()
+      Prioq.push q (global_prio lwp) entry
+
+(* A queue entry is dead once the LWP was re-enqueued (newer generation),
+   ran (state change), or changed priority; pruning them at the bucket
+   front is the lazy half of the O(1) dequeue. *)
+let entry_live prio (lwp, gen, _seq) =
+  lwp.runq_gen = gen && lwp.lstate = Lrunnable && global_prio lwp = prio
+
+(* Pop the best eligible LWP for [cpu]: the highest occupied priority
+   across the unbound queue and this CPU's side queue (two find-highest-
+   set probes), FIFO within the priority by enqueue sequence.  O(1)
+   amortized — no scanning, no skip-and-restore. *)
+let pick k cpu =
+  let side = k.cpu_runqs.(Cpu.id cpu) in
+  let rec at_prio limit =
+    if limit < 0 then None
+    else
+      let prio = max (Prioq.top_below k.runq limit) (Prioq.top_below side limit) in
+      if prio < 0 then None
+      else
+        let keep = entry_live prio in
+        match
+          (Prioq.peek_live k.runq prio ~keep, Prioq.peek_live side prio ~keep)
+        with
+        | None, None -> at_prio (prio - 1)
+        | Some (lwp, _, _), None ->
+            Prioq.drop_front k.runq prio;
+            Some lwp
+        | None, Some (lwp, _, _) ->
+            Prioq.drop_front side prio;
+            Some lwp
+        | Some (lg, _, sg), Some (ls, _, ss) ->
+            if sg < ss then begin
+              Prioq.drop_front k.runq prio;
+              Some lg
+            end
+            else begin
+              Prioq.drop_front side prio;
+              Some ls
+            end
   in
   at_prio max_global_prio
 
+(* Cheap idle/preemption probe: stops at the first live entry instead of
+   walking every queue (the bitmask skips empty priorities entirely). *)
 let runnable_exists_for k cpu =
-  let found = ref false in
-  Array.iteri
-    (fun _prio q ->
-      Queue.iter
-        (fun (lwp, gen) ->
-          if
-            (not !found) && lwp.runq_gen = gen && lwp.lstate = Lrunnable
-            &&
-            match lwp.bound_cpu with
-            | Some c -> c = Cpu.id cpu
-            | None -> true
-          then found := true)
-        q)
-    k.queues;
-  !found
+  let side = k.cpu_runqs.(Cpu.id cpu) in
+  let rec at_prio limit =
+    if limit < 0 then false
+    else
+      let prio = max (Prioq.top_below k.runq limit) (Prioq.top_below side limit) in
+      prio >= 0
+      && (let keep = entry_live prio in
+          Prioq.peek_live k.runq prio ~keep <> None
+          || Prioq.peek_live side prio ~keep <> None
+          || at_prio (prio - 1))
+  in
+  at_prio max_global_prio
 
 (* ------------------------------------------------------------------ *)
 (* The dispatch / step machine                                         *)

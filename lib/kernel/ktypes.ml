@@ -123,15 +123,25 @@ and fdobj =
 (* A futex-queue entry; [fw_alive] is the lazy-removal guard. *)
 type futex_waiter = { fw_lwp : lwp; fw_alive : bool ref }
 
+(* A run-queue entry: the LWP, its enqueue generation (stale entries —
+   older generation — are pruned lazily at pick time) and a kernel-wide
+   enqueue sequence number that totally orders entries within a priority
+   across the unbound queue and the per-CPU bound queues. *)
+type runq_entry = lwp * int * int
+
 type kernel = {
   machine : Sunos_hw.Machine.t;
   fs : Fs.t;
   sockets : Socket.registry;  (* service name -> listener *)
   mutable procs : proc list;
   mutable next_pid : int;
-  queues : (lwp * int) Queue.t array;
-      (* dispatcher queues, one per global priority; entries carry the
-         enqueue generation for lazy removal *)
+  runq : runq_entry Sunos_sim.Prioq.t;
+      (* unbound runnable LWPs, bucketed by global priority under an
+         occupancy bitmask: dispatch is O(1) amortized *)
+  cpu_runqs : runq_entry Sunos_sim.Prioq.t array;
+      (* side queues for [bound_cpu] LWPs, one per CPU, so bound entries
+         are never skipped over (and restored) by other CPUs' picks *)
+  mutable runq_seq : int;
   gangs : (int, lwp list ref) Hashtbl.t;
   futex : (int * int, futex_waiter Queue.t) Hashtbl.t;
       (* (segment id, offset) -> waiters *)

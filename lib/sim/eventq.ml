@@ -4,13 +4,15 @@ type handle = {
   action : unit -> unit;
   mutable cancelled : bool;
   mutable fired : bool;
+  owner : t;
 }
 
-type t = {
-  heap : handle Pheap.t;
+and t = {
+  mutable heap : handle Pheap.t;
   mutable now : Time.t;
   mutable next_seq : int;
   mutable live : int;
+  mutable cancelled_in_heap : int;
   mutable fired_count : int;
 }
 
@@ -19,15 +21,24 @@ let cmp a b =
   if c <> 0 then c else compare a.seq b.seq
 
 let create () =
-  { heap = Pheap.create ~cmp; now = Time.zero; next_seq = 0; live = 0;
-    fired_count = 0 }
+  {
+    heap = Pheap.create ~cmp;
+    now = Time.zero;
+    next_seq = 0;
+    live = 0;
+    cancelled_in_heap = 0;
+    fired_count = 0;
+  }
 
 let now q = q.now
 
 let at q time action =
   if Time.(time < q.now) then
     invalid_arg "Eventq.at: scheduling in the past";
-  let h = { time; seq = q.next_seq; action; cancelled = false; fired = false } in
+  let h =
+    { time; seq = q.next_seq; action; cancelled = false; fired = false;
+      owner = q }
+  in
   q.next_seq <- q.next_seq + 1;
   Pheap.insert q.heap h;
   q.live <- q.live + 1;
@@ -35,20 +46,43 @@ let at q time action =
 
 let after q d action = at q (Time.add q.now d) action
 
+(* Rebuild the heap from its live population.  Cancellation is lazy (the
+   heap keeps cancelled handles until they surface), so a cancel-heavy
+   workload — timer re-arms, poll timeouts — would otherwise carry an
+   arbitrarily large dead population through every merge.  Compaction
+   runs when the dead outnumber the live (> ~50% of the population),
+   which keeps the heap within 2x of the live set and costs O(live)
+   amortized against the cancels that triggered it.  Pop order is
+   unaffected: the (time, seq) key is a total order, so any heap shape
+   pops the same sequence. *)
+let compact q =
+  let keep =
+    List.filter (fun h -> not h.cancelled) (Pheap.to_list_unordered q.heap)
+  in
+  q.heap <- Pheap.of_list ~cmp keep;
+  q.cancelled_in_heap <- 0
+
 let cancel h =
   if (not h.cancelled) && not h.fired then begin
-    h.cancelled <- true
+    h.cancelled <- true;
+    let q = h.owner in
+    q.live <- q.live - 1;
+    q.cancelled_in_heap <- q.cancelled_in_heap + 1;
+    if q.cancelled_in_heap > 64 && q.cancelled_in_heap > q.live then compact q
   end
 
 let is_pending h = (not h.cancelled) && not h.fired
 
-(* Lazy deletion: cancelled events stay in the heap and are skipped when
-   popped.  [live] tracks the non-cancelled population. *)
+(* Lazy deletion: cancelled events that reach the heap top are skipped
+   when popped (compaction bounds how many can be in flight). *)
 let rec run_one q =
   match Pheap.pop_min q.heap with
   | None -> false
   | Some h ->
-      if h.cancelled then run_one q
+      if h.cancelled then begin
+        q.cancelled_in_heap <- q.cancelled_in_heap - 1;
+        run_one q
+      end
       else begin
         q.now <- h.time;
         h.fired <- true;
@@ -64,6 +98,7 @@ let rec peek_live q =
   | Some h ->
       if h.cancelled then begin
         ignore (Pheap.pop_min q.heap);
+        q.cancelled_in_heap <- q.cancelled_in_heap - 1;
         peek_live q
       end
       else Some h
@@ -93,9 +128,8 @@ let run ?until ?max_events q =
       q.now <- horizon
   | _ -> ()
 
-let pending_count q =
-  (* Prune stale cancelled entries at the front for a tighter answer. *)
-  ignore (peek_live q);
-  q.live
+(* [live] is exact: cancels decrement it immediately. *)
+let pending_count q = q.live
 
+let heap_population q = Pheap.size q.heap
 let events_fired q = q.fired_count

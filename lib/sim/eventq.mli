@@ -35,7 +35,14 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
     [until] (clock is then left at [until]), or after [max_events]. *)
 
 val pending_count : t -> int
-(** Number of live (non-cancelled) events still queued. *)
+(** Number of live (non-cancelled, unfired) events still queued.  Exact:
+    cancellation is accounted immediately even though the heap deletes
+    lazily. *)
+
+val heap_population : t -> int
+(** Entries physically in the heap, including cancelled ones awaiting
+    lazy deletion.  Compaction keeps this within ~2x of
+    [pending_count]; exposed for the cancel-churn tests. *)
 
 val events_fired : t -> int
 (** Total events fired since creation (for stats and loop-bound tests). *)

@@ -46,6 +46,11 @@ let pop_min h =
       h.size <- h.size - 1;
       Some x
 
+let of_list ~cmp xs =
+  let h = create ~cmp in
+  List.iter (insert h) xs;
+  h
+
 let to_list_unordered h =
   let rec go acc = function
     | [] -> acc

@@ -15,5 +15,10 @@ val insert : 'a t -> 'a -> unit
 val peek_min : 'a t -> 'a option
 val pop_min : 'a t -> 'a option
 
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Build a heap from the elements; O(n) (n O(1) inserts).  Used by the
+    event queue to rebuild itself when compacting away cancelled
+    entries. *)
+
 val to_list_unordered : 'a t -> 'a list
 (** All elements, in unspecified order; O(n). For tests and introspection. *)

@@ -6,14 +6,53 @@ type t = {
   mutable len : int;
   mutable dropped : int;
   mutable enabled : bool;
+  mutable interest : (string, unit) Hashtbl.t option;
+      (* None = every tag; Some set = only those tags are recorded *)
+  tags : (string, string) Hashtbl.t;
+      (* intern table: records share one string per distinct tag *)
 }
 
 let create ?(capacity = 65536) () =
-  { buf = Array.make capacity None; head = 0; len = 0; dropped = 0;
-    enabled = true }
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    dropped = 0;
+    enabled = true;
+    interest = None;
+    tags = Hashtbl.create 32;
+  }
+
+let intern t tag =
+  match Hashtbl.find_opt t.tags tag with
+  | Some s -> s
+  | None ->
+      Hashtbl.add t.tags tag tag;
+      tag
+
+(* The emit-side gate: callers (Machine.trace) check this *before*
+   formatting, so uninterested records cost neither the format nor the
+   allocation — the hot dispatch/syscall/wakeup paths trace for free when
+   nothing will read the buffer. *)
+let interested t ~tag =
+  t.enabled
+  &&
+  match t.interest with
+  | None -> true
+  | Some set -> Hashtbl.mem set tag
+
+let set_interest t tags =
+  t.interest <-
+    (match tags with
+    | None -> None
+    | Some l ->
+        let set = Hashtbl.create (List.length l) in
+        List.iter (fun tag -> Hashtbl.replace set tag ()) l;
+        Some set)
 
 let emit t ~time ~tag msg =
-  if t.enabled then begin
+  if interested t ~tag then begin
+    let tag = intern t tag in
     let cap = Array.length t.buf in
     if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
     t.buf.(t.head) <- Some { time; tag; msg };
@@ -21,7 +60,9 @@ let emit t ~time ~tag msg =
   end
 
 let emitf t ~time ~tag fmt =
-  Format.kasprintf (fun msg -> emit t ~time ~tag msg) fmt
+  if interested t ~tag then
+    Format.kasprintf (fun msg -> emit t ~time ~tag msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let records t =
   let cap = Array.length t.buf in

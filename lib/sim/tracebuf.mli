@@ -27,3 +27,13 @@ val pp : Format.formatter -> t -> unit
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 (** Disabling makes [emit] a no-op; benchmarks disable tracing. *)
+
+val interested : t -> tag:string -> bool
+(** [enabled] and (when an interest set is installed) [tag] is in it.
+    Emitters check this {e before} formatting a message, so records
+    nobody will read cost neither the format nor the allocation. *)
+
+val set_interest : t -> string list option -> unit
+(** [Some tags] records only those tags; [None] (the default) records
+    every tag.  Tags are interned, so the ring shares one string per
+    distinct tag. *)

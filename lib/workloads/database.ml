@@ -48,9 +48,9 @@ let db_path = "/db/records"
    file — Figure 1 of the paper, literally. *)
 let lock_offset r = r * record_size
 
-let run ?(cpus = 2) ?cost p =
+let run ?(cpus = 2) ?cost ?(trace = false) ?debrief p =
   let k = Kernel.boot ~cpus ?cost () in
-  Kernel.set_tracing k false;
+  if not trace then Kernel.set_tracing k false;
   (* create and populate the database file *)
   (match Fs.create_file (Kernel.fs k) ~path:db_path () with
   | Ok f ->
@@ -118,6 +118,9 @@ let run ?(cpus = 2) ?cost p =
          ~main:(Libthread.boot (server id)))
   done;
   Kernel.run k;
+  (* [debrief] runs against the still-live kernel: determinism tests read
+     counters and the trace ring before the results are boxed up *)
+  (match debrief with Some f -> f k | None -> ());
   let majflt =
     List.fold_left
       (fun acc pi -> acc + pi.Sunos_kernel.Procfs.pi_majflt)

@@ -32,6 +32,12 @@ type results = {
 }
 
 val run :
-  ?cpus:int -> ?cost:Sunos_hw.Cost_model.t -> params -> results
+  ?cpus:int ->
+  ?cost:Sunos_hw.Cost_model.t ->
+  ?trace:bool ->
+  ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
+  params ->
+  results
+(** [trace] and [debrief] as in {!Net_server.run}. *)
 
 val pp_results : Format.formatter -> results -> unit

@@ -281,9 +281,10 @@ let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~refused
   let ts = List.init p.connections (fun cid -> M.spawn (one (cid + 1))) in
   List.iter M.join ts
 
-let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
+let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?(trace = false)
+    ?debrief p =
   let k = Kernel.boot ~cpus ?cost () in
-  Kernel.set_tracing k false;
+  if not trace then Kernel.set_tracing k false;
   (match Fs.create_file (Kernel.fs k) ~path:data_path () with
   | Ok f ->
       ignore (Fs.write f ~pos:0 (String.make 65536 's'));
@@ -308,6 +309,9 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
          (M.boot ?cost
             (finishing (client (module M) p ~latency ~served ~refused))));
   Kernel.run k;
+  (* [debrief] runs against the still-live kernel: determinism tests read
+     counters and the trace ring before the results are boxed up *)
+  (match debrief with Some f -> f k | None -> ());
   {
     served = !served;
     refused = !refused;

@@ -55,7 +55,13 @@ val run :
   (module Sunos_baselines.Model.S) ->
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
+  ?trace:bool ->
+  ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
   params ->
   results
+(** [trace] keeps the kernel trace ring enabled (default false: workloads
+    run untraced).  [debrief] runs against the live kernel after the run,
+    before results are computed — determinism tests read counters and the
+    trace ring through it. *)
 
 val pp_results : Format.formatter -> results -> unit

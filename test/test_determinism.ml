@@ -1,0 +1,126 @@
+(* Same-seed determinism regression for the dispatcher rewrite.
+
+   The golden values below were recorded from the pre-rewrite dispatcher
+   (the PR 1 tree, which scanned and rebuilt a per-priority Queue on every
+   dispatch).  The O(1) run-queue rewrite must be behaviour-preserving:
+   on fixed seeds the network-server and database workloads must produce
+   byte-identical trace tag sequences and identical dispatch/preemption
+   counter values.
+
+   To re-record (only legitimate after an *intentional* scheduling-policy
+   change): run with SUNOS_PRINT_GOLDENS=1 and paste the output. *)
+
+module Kernel = Sunos_kernel.Kernel
+module S = Sunos_workloads.Net_server
+module Db = Sunos_workloads.Database
+
+type probe = {
+  tag_digest : string;
+  tag_count : int;
+  dispatches : int;
+  preemptions : int;
+}
+
+let probe_of_kernel k =
+  let tags =
+    List.map (fun r -> r.Sunos_sim.Tracebuf.tag) (Kernel.trace_records k)
+  in
+  {
+    tag_digest = Digest.to_hex (Digest.string (String.concat "," tags));
+    tag_count = List.length tags;
+    dispatches = Kernel.dispatch_count k;
+    preemptions = Kernel.preemption_count k;
+  }
+
+let net_probe () =
+  let p =
+    {
+      S.default_params with
+      connections = 12;
+      requests_per_conn = 2;
+      think_time_us = 20_000;
+      connect_stagger_us = 500;
+      disk_every = 8;
+      workers = 4;
+      concurrency = 4;
+      client_concurrency = 12;
+      listen_backlog = 32;
+    }
+  in
+  let out = ref None in
+  ignore
+    (S.run
+       (module Sunos_baselines.Mt)
+       ~cpus:2 ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
+let db_probe () =
+  let p =
+    {
+      Db.default_params with
+      processes = 2;
+      threads_per_process = 4;
+      records = 16;
+      transactions_per_thread = 10;
+    }
+  in
+  let out = ref None in
+  ignore
+    (Db.run ~cpus:2 ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
+let print_goldens () =
+  let show name p =
+    Printf.printf
+      "%s: digest=%S tag_count=%d dispatches=%d preemptions=%d\n" name
+      p.tag_digest p.tag_count p.dispatches p.preemptions
+  in
+  show "net" (net_probe ());
+  show "db" (db_probe ())
+
+(* --- recorded goldens (pre-rewrite dispatcher, fixed seeds) ----------- *)
+
+let golden_net =
+  {
+    tag_digest = "8fffe7b5bfb695c486aa300e034e1cb7";
+    tag_count = 544;
+    dispatches = 223;
+    preemptions = 31;
+  }
+
+let golden_db =
+  {
+    tag_digest = "ce1dad7ea79bac69892ce0bd4b57df7a";
+    tag_count = 128;
+    dispatches = 64;
+    preemptions = 0;
+  }
+
+let check name golden actual =
+  Alcotest.(check string)
+    (name ^ " trace tag digest") golden.tag_digest actual.tag_digest;
+  Alcotest.(check int) (name ^ " trace tag count") golden.tag_count
+    actual.tag_count;
+  Alcotest.(check int) (name ^ " dispatches") golden.dispatches
+    actual.dispatches;
+  Alcotest.(check int) (name ^ " preemptions") golden.preemptions
+    actual.preemptions
+
+let test_net () = check "net-server" golden_net (net_probe ())
+let test_db () = check "database" golden_db (db_probe ())
+
+let () =
+  if Sys.getenv_opt "SUNOS_PRINT_GOLDENS" <> None then print_goldens ()
+  else
+    Alcotest.run "determinism"
+      [
+        ( "golden",
+          [
+            Alcotest.test_case "net-server same-seed" `Quick test_net;
+            Alcotest.test_case "database same-seed" `Quick test_db;
+          ] );
+      ]

@@ -123,6 +123,50 @@ let test_eventq_cascade () =
   Alcotest.(check int) "10 ticks" 10 !count;
   Alcotest.check span "clock" 50L (Eventq.now q)
 
+let test_eventq_pending_exact () =
+  let q = Eventq.create () in
+  let hs = List.init 5 (fun i -> Eventq.at q (Int64.of_int (10 + i)) ignore) in
+  Alcotest.(check int) "all pending" 5 (Eventq.pending_count q);
+  (* cancel two *back* entries: the count must drop immediately even
+     though the heap deletes lazily and nothing has pruned the front *)
+  Eventq.cancel (List.nth hs 3);
+  Eventq.cancel (List.nth hs 4);
+  Alcotest.(check int) "cancels accounted" 3 (Eventq.pending_count q);
+  Eventq.run q;
+  Alcotest.(check int) "drained" 0 (Eventq.pending_count q)
+
+let test_eventq_cancel_churn () =
+  (* the net server's timer re-arm pattern at 10k scale: every handle is
+     cancelled before it can fire.  Compaction must keep the heap
+     population bounded near the live count instead of letting 10k dead
+     handles accumulate. *)
+  let q = Eventq.create () in
+  for _ = 1 to 10_000 do
+    let h = Eventq.after q 1_000_000L ignore in
+    Eventq.cancel h
+  done;
+  Alcotest.(check int) "live exact" 0 (Eventq.pending_count q);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap bounded (%d)" (Eventq.heap_population q))
+    true
+    (Eventq.heap_population q <= 128);
+  (* interleaved live + cancelled: population stays within ~2x of live *)
+  let fired = ref 0 in
+  let live = List.init 100 (fun i ->
+      Eventq.at q (Int64.of_int (2_000_000 + i)) (fun () -> incr fired))
+  in
+  for _ = 1 to 10_000 do
+    let h = Eventq.after q 3_000_000L ignore in
+    Eventq.cancel h
+  done;
+  Alcotest.(check int) "live exact under churn" 100 (Eventq.pending_count q);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap within 2x of live (%d)" (Eventq.heap_population q))
+    true
+    (Eventq.heap_population q <= 2 * List.length live + 128);
+  Eventq.run q;
+  Alcotest.(check int) "live handles all fired" 100 !fired
+
 let prop_eventq_monotonic =
   QCheck.Test.make ~name:"eventq fires in nondecreasing time order" ~count:100
     QCheck.(list (int_bound 1000))
@@ -282,6 +326,8 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_eventq_past_rejected;
           Alcotest.test_case "until" `Quick test_eventq_until;
           Alcotest.test_case "cascade" `Quick test_eventq_cascade;
+          Alcotest.test_case "pending exact" `Quick test_eventq_pending_exact;
+          Alcotest.test_case "cancel churn" `Quick test_eventq_cancel_churn;
           qt prop_eventq_monotonic;
         ] );
       ( "rng",
