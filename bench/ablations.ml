@@ -8,6 +8,7 @@ module Uctx = Sunos_kernel.Uctx
 module T = Sunos_threads.Thread
 module Libthread = Sunos_threads.Libthread
 module Mutex = Sunos_threads.Mutex
+module Thrsan = Sunos_threads.Thrsan
 module W = Sunos_workloads.Window_system
 module S = Sunos_workloads.Net_server
 module A = Sunos_workloads.Array_compute
@@ -55,6 +56,13 @@ let sigwaiting () =
   section "A2: SIGWAITING deadlock avoidance";
   let run_case ~auto_grow =
     let k = Kernel.boot ~cpus:2 () in
+    (* the sanitizer's hang diagnosis watches the deadlocking case and
+       explains it below the table *)
+    if not auto_grow then begin
+      Thrsan.reset ();
+      Thrsan.enable ();
+      Thrsan.watch k
+    end;
     let unblocked = ref false in
     ignore
       (Kernel.spawn k ~name:"case"
@@ -68,6 +76,7 @@ let sigwaiting () =
                 let got = Uctx.read rfd ~len:10 in
                 if got = "go" then unblocked := true)));
     Kernel.run ~until:(Time.s 5) k;
+    if not auto_grow then Thrsan.disable ();
     (!unblocked, Kernel.sigwaiting_count k, Kernel.lwp_create_count k)
   in
   let ok_on, sw_on, lwps_on = run_case ~auto_grow:true in
@@ -76,7 +85,13 @@ let sigwaiting () =
     "SIGWAITINGs" "LWPs";
   Printf.printf "  %-22s %10b %12d %6d\n" "auto_grow=true" ok_on sw_on lwps_on;
   Printf.printf "  %-22s %10b %12d %6d   <- deadlocked\n" "auto_grow=false"
-    ok_off sw_off lwps_off
+    ok_off sw_off lwps_off;
+  match Thrsan.last_hang () with
+  | None -> ()
+  | Some h ->
+      Printf.printf "\n  thrsan hang diagnosis of auto_grow=false:\n";
+      String.split_on_char '\n' h.Thrsan.hr_text
+      |> List.iter (fun line -> Printf.printf "    %s\n" line)
 
 (* A3: mutex variants under contention.  Three bound threads on two CPUs
    hammer one lock with desynchronized think times, so collisions are

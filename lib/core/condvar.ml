@@ -6,12 +6,12 @@ module Cost = Sunos_hw.Cost_model
 type shared_state = { mutable s_seq : int }
 
 type t =
-  | Private of { waitq : Waitq.t }
+  | Private of { waitq : Waitq.t; mutable san : san_obj option }
   | Shared of { state : shared_state; at : Syncvar.place }
 
 let shared_key : shared_state Univ.key = Univ.key ()
 
-let create () = Private { waitq = Waitq.create () }
+let create () = Private { waitq = Waitq.create (); san = None }
 
 let create_shared at =
   let state =
@@ -25,7 +25,19 @@ let wait cv m =
   Uctx.charge c.Cost.sync_fast;
   Pool.thread_checkpoint ();
   (match cv with
-  | Private { waitq } -> (
+  | Private p -> (
+      if Thrsan.tracking () then begin
+        let o =
+          match p.san with
+          | Some o -> o
+          | None ->
+              let o = Thrsan.new_obj ~kind:"condvar" () in
+              p.san <- Some o;
+              o
+        in
+        Thrsan.blocked_on self o
+      end;
+      let waitq = p.waitq in
       (* the park function enqueues us on the condvar and only THEN
          releases the mutex — a signaller that sneaks in after the
          release necessarily finds us queued (no lost signal) *)
@@ -51,7 +63,7 @@ let signal cv =
   let c = (Current.pool ()).cost in
   Uctx.charge c.Cost.sync_fast;
   match cv with
-  | Private { waitq } -> (
+  | Private { waitq; _ } -> (
       match Waitq.pop waitq with
       | Some t -> Pool.make_ready t Wake_normal
       | None -> ())
@@ -63,7 +75,7 @@ let broadcast cv =
   let c = (Current.pool ()).cost in
   Uctx.charge c.Cost.sync_fast;
   match cv with
-  | Private { waitq } ->
+  | Private { waitq; _ } ->
       List.iter (fun t -> Pool.make_ready t Wake_normal) (Waitq.pop_all waitq)
   | Shared { state; at } ->
       state.s_seq <- state.s_seq + 1;

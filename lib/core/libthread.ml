@@ -11,6 +11,8 @@ let boot ?(cost = Sunos_hw.Cost_model.default) ?(concurrency = 0)
   (* publish the thread table for debuggers (the paper's /proc + library
      cooperation) *)
   Debugger.publish pool;
+  (* same replace-on-boot registry for the sanitizer's hang diagnosis *)
+  Thrsan.register_pool pool;
   if activations then
     (* scheduler-activations mode: on every application block the kernel
        hands us a context; fresh activations enter our LWP main loop *)

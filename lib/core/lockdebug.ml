@@ -4,7 +4,7 @@ module Cost = Sunos_hw.Cost_model
 
 type t = {
   name : string;
-  id : int;
+  san : Ttypes.san_obj;  (* identity in the pool-wide thrsan graphs *)
   mu : Mutex.t;
   mutable acquisitions : int;
   mutable contentions : int;
@@ -13,37 +13,23 @@ type t = {
 }
 
 exception Self_deadlock of string
-exception Lock_order_violation of string * string
+
+(* The order check itself lives in Thrsan, so lock-order edges recorded
+   through Lockdebug locks and through sanitizer-tracked plain mutexes
+   land in the one pool-wide graph, checked transitively. *)
+exception Lock_order_violation = Thrsan.Lock_order_violation
 
 let () =
   Printexc.register_printer (function
     | Self_deadlock n -> Some (Printf.sprintf "Lockdebug: relock of %S" n)
-    | Lock_order_violation (held, wanted) ->
-        Some
-          (Printf.sprintf
-             "Lockdebug: taking %S while holding %S contradicts recorded \
-              order"
-             wanted held)
     | _ -> None)
 
-let next_id = ref 0
-
-(* The lock-order graph: an edge (a, b) means "a was held while b was
-   acquired".  Acquiring b while holding a when (b, a) is already
-   recorded is a potential ABBA deadlock.  Process-global, like a real
-   lockdep. *)
-let order_edges : (int * int, string * string) Hashtbl.t = Hashtbl.create 64
-
-let reset_order_graph () = Hashtbl.reset order_edges
-
-(* Locks the calling thread currently holds, most recent first. *)
-let held_stack : (int * string) list Tls.key = Tls.key ~default:[]
+let reset_order_graph = Thrsan.reset_order_graph
 
 let create ~name =
-  incr next_id;
   {
     name;
-    id = !next_id;
+    san = Thrsan.new_obj ~kind:"lockdebug" ~name ();
     mu = Mutex.create ();
     acquisitions = 0;
     contentions = 0;
@@ -58,20 +44,12 @@ let charge_check () =
   (* the debugging variant pays for its bookkeeping *)
   Uctx.charge (Current.pool ()).Ttypes.cost.Cost.sync_slow_extra
 
-let check_order t =
-  let held = Tls.get held_stack in
-  List.iter
-    (fun (held_id, held_name) ->
-      if Hashtbl.mem order_edges (t.id, held_id) then
-        raise (Lock_order_violation (held_name, t.name));
-      if not (Hashtbl.mem order_edges (held_id, t.id)) then
-        Hashtbl.replace order_edges (held_id, t.id) (held_name, t.name))
-    held
+let check_order t = Thrsan.check_order (Current.get ()) t.san
 
 let note_acquired t =
   t.acquisitions <- t.acquisitions + 1;
   t.acquired_at <- Uctx.gettime ();
-  Tls.set held_stack ((t.id, t.name) :: Tls.get held_stack)
+  Thrsan.held_push (Current.get ()) t.san
 
 let enter t =
   charge_check ();
@@ -97,8 +75,7 @@ let exit t =
   charge_check ();
   let hold = Time.diff (Uctx.gettime ()) t.acquired_at in
   if Time.(hold > t.max_hold) then t.max_hold <- hold;
-  Tls.set held_stack
-    (List.filter (fun (id, _) -> id <> t.id) (Tls.get held_stack));
+  Thrsan.held_pop (Current.get ()) t.san;
   Mutex.exit t.mu
 
 let acquisitions t = t.acquisitions

@@ -6,9 +6,11 @@
 
     - detects self-deadlock (relocking a lock the thread already holds)
       and raises instead of hanging;
-    - tracks the process-wide lock-order graph and raises on an
-      acquisition that creates an ordering cycle (potential ABBA
-      deadlock), naming the two locks involved;
+    - tracks the process-wide lock-order graph (shared with {!Thrsan},
+      so edges from sanitizer-tracked plain mutexes and rwlocks land in
+      the same graph) and raises on an acquisition that closes an
+      ordering cycle — checked transitively, so A→B→C→A is caught, not
+      just direct ABBA — naming the two locks involved;
     - keeps statistics: acquisitions, contended acquisitions, and the
       longest hold time.
 
@@ -20,7 +22,8 @@ type t
 exception Self_deadlock of string
 exception Lock_order_violation of string * string
     (** [(held, wanted)]: acquiring [wanted] while holding [held]
-        contradicts a previously recorded order. *)
+        contradicts a previously recorded order, transitively.  The
+        same exception as {!Thrsan.Lock_order_violation}. *)
 
 val create : name:string -> t
 val name : t -> string

@@ -10,6 +10,7 @@ type priv_state = {
   variant : variant;
   mutable owner : tcb option;
   waitq : Waitq.t;
+  mutable san : san_obj option;  (* thrsan identity, allocated lazily *)
 }
 
 (* Cross-process state: identified by (pid, tid) numbers since TCBs are
@@ -18,6 +19,7 @@ type shared_state = {
   mutable s_locked : bool;
   mutable s_owner_pid : int;
   mutable s_owner_tid : int;
+  mutable s_san : san_obj option;
 }
 
 type t =
@@ -27,16 +29,32 @@ type t =
 let shared_key : shared_state Univ.key = Univ.key ()
 
 let create ?(variant = Sleep) () =
-  Private { variant; owner = None; waitq = Waitq.create () }
+  Private { variant; owner = None; waitq = Waitq.create (); san = None }
 
 let create_shared at =
   let state =
     Syncvar.locate at ~key:shared_key ~make:(fun () ->
-        { s_locked = false; s_owner_pid = 0; s_owner_tid = 0 })
+        { s_locked = false; s_owner_pid = 0; s_owner_tid = 0; s_san = None })
   in
   Shared { state; at }
 
 let cost_of (tcb : tcb) = tcb.pool.cost
+
+let msan s =
+  match s.san with
+  | Some o -> o
+  | None ->
+      let o = Thrsan.new_obj ~kind:"mutex" () in
+      s.san <- Some o;
+      o
+
+let mssan st =
+  match st.s_san with
+  | Some o -> o
+  | None ->
+      let o = Thrsan.new_obj ~kind:"mutex(shared)" () in
+      st.s_san <- Some o;
+      o
 
 exception Not_owner
 
@@ -56,9 +74,19 @@ let rec spin_until_free c s =
     spin_until_free c s
   end
 
+(* Record an uncontended (or post-spin) acquisition with the sanitizer.
+   Handoff acquisitions are recorded by the releaser in [exit_private],
+   so the holder set is correct the instant ownership changes. *)
+let san_take s self =
+  if Thrsan.tracking () then Thrsan.acquired self (msan s)
+
 let rec sleep_until_owned s self =
-  if s.owner = None then s.owner <- Some self
+  if s.owner = None then begin
+    s.owner <- Some self;
+    san_take s self
+  end
   else begin
+    if Thrsan.tracking () then Thrsan.blocked_on self (msan s);
     (* commit rule: no effect between this check and the Suspend *)
     match
       Pool.suspend ~park:(fun tcb ->
@@ -77,13 +105,18 @@ let enter_private s self =
   let c = cost_of self in
   Uctx.charge c.Cost.sync_fast;
   Pool.thread_checkpoint ();
-  if s.owner = None then s.owner <- Some self
+  if Thrsan.tracking () then Thrsan.acquiring self (msan s);
+  if s.owner = None then begin
+    s.owner <- Some self;
+    san_take s self
+  end
   else begin
     Uctx.charge c.Cost.sync_slow_extra;
     match s.variant with
     | Spin ->
         spin_until_free c s;
-        s.owner <- Some self
+        s.owner <- Some self;
+        san_take s self
     | Adaptive ->
         (* spin briefly while the owner is on a CPU, else sleep; the
            budget lives in the cost model so ablations can sweep it *)
@@ -98,7 +131,10 @@ let enter_private s self =
           Uctx.charge c.Cost.sync_fast;
           incr spins
         done;
-        if s.owner = None then s.owner <- Some self
+        if s.owner = None then begin
+          s.owner <- Some self;
+          san_take s self
+        end
         else sleep_until_owned s self
     | Sleep -> sleep_until_owned s self
   end
@@ -113,23 +149,33 @@ let exit_private s self =
   | Some next ->
       (* direct handoff keeps the bracketing invariant simple *)
       s.owner <- Some next;
+      if Thrsan.tracking () then begin
+        Thrsan.released self (msan s);
+        Thrsan.acquired next (msan s)
+      end;
       Pool.make_ready next Wake_normal
-  | None -> s.owner <- None
+  | None ->
+      s.owner <- None;
+      if Thrsan.tracking () then Thrsan.released self (msan s)
 
 (* --- shared (between processes) -------------------------------------- *)
 
 let rec enter_shared st at self =
   let c = cost_of self in
   Uctx.charge c.Cost.sync_fast;
+  if Thrsan.tracking () then Thrsan.acquiring self (mssan st);
   if not st.s_locked then begin
     st.s_locked <- true;
     st.s_owner_pid <- self.pool.pid;
-    st.s_owner_tid <- self.tid
+    st.s_owner_tid <- self.tid;
+    if Thrsan.tracking () then Thrsan.acquired self (mssan st)
   end
   else begin
+    if Thrsan.tracking () then Thrsan.blocked_on self (mssan st);
     (* kwait's expect closes the check-then-sleep race *)
     (match Syncvar.wait at ~expect:(fun () -> st.s_locked) () with
     | `Woken | `Timeout -> ());
+    if Thrsan.tracking () then Thrsan.clear_wait self;
     enter_shared st at self
   end
 
@@ -142,6 +188,7 @@ let exit_shared st at self =
   st.s_locked <- false;
   st.s_owner_pid <- 0;
   st.s_owner_tid <- 0;
+  if Thrsan.tracking () then Thrsan.released self (mssan st);
   ignore (Syncvar.wake at ~count:1)
 
 (* --- public ----------------------------------------------------------- *)
@@ -162,18 +209,23 @@ let try_enter m =
   let self = Current.get () in
   let c = cost_of self in
   Uctx.charge c.Cost.sync_fast;
+  Pool.thread_checkpoint ();
   match m with
   | Private s ->
       if s.owner = None then begin
+        if Thrsan.tracking () then Thrsan.acquiring self (msan s);
         s.owner <- Some self;
+        san_take s self;
         true
       end
       else false
   | Shared { state; _ } ->
       if not state.s_locked then begin
+        if Thrsan.tracking () then Thrsan.acquiring self (mssan state);
         state.s_locked <- true;
         state.s_owner_pid <- self.pool.pid;
         state.s_owner_tid <- self.tid;
+        if Thrsan.tracking () then Thrsan.acquired self (mssan state);
         true
       end
       else false

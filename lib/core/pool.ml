@@ -18,6 +18,12 @@
 open Ttypes
 module Uctx = Sunos_kernel.Uctx
 module Cost = Sunos_hw.Cost_model
+
+(* the "registered on no wait queue" sentinel for [cancel_wait]: a
+   single shared closure, so the bare-park audit can test it with
+   physical equality ([ignore] itself is a primitive and makes a fresh
+   closure at every value use) *)
+let no_cancel : unit -> unit = fun () -> ()
 module Time = Sunos_sim.Time
 
 let charge = Uctx.charge
@@ -90,7 +96,11 @@ let kick_idle_lwp pool =
 let make_ready tcb reason =
   let pool = tcb.pool in
   tcb.cancel_wait ();
-  tcb.cancel_wait <- ignore;
+  tcb.cancel_wait <- no_cancel;
+  (* a woken thread is no longer waiting: clear its waits-for edge so
+     the sanitizer never walks a stale one (single store; kept
+     unconditional so toggling thrsan mid-run stays sound) *)
+  tcb.san_waiting <- None;
   tcb.wake_reason <- reason;
   if tcb.stop_requested then begin
     tcb.stop_requested <- false;
@@ -223,6 +233,14 @@ let run_thread pool my_cur tcb =
          rule (see the header comment) *)
       tcb.kont <- Some kont;
       park tcb;
+      (* bare-park audit: blocked, yet registered on no wait queue and
+         known to no waits-for edge — no waker can find this thread *)
+      if
+        Thrsan.tracking ()
+        && tcb.tstate = Tblocked
+        && tcb.san_waiting = None
+        && tcb.cancel_wait == no_cancel
+      then Thrsan.note_bare_park tcb;
       charge pool.cost.Cost.user_ctx_save
 
 (* ------------------------------------------------------------------ *)
@@ -336,10 +354,12 @@ let new_tcb pool ~entry ~prio ~sigmask ~bound ~wait_flag ~stack_kind ~stopped =
       stack_kind;
       tls = Array.make 8 None;
       waiter = None;
-      cancel_wait = ignore;
+      cancel_wait = no_cancel;
       pending_tsigs = Queue.create ();
       stop_requested = false;
       exited = false;
+      san_waiting = None;
+      san_held = [];
     }
   in
   Hashtbl.replace pool.threads tcb.tid tcb;

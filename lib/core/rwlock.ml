@@ -11,6 +11,9 @@ type priv = {
   mutable upgrader : tcb option;  (* reader waiting to become writer *)
   rq : Waitq.t;
   wq : Waitq.t;
+  uq : Waitq.t;  (* the (single) pending upgrader parks here so signal
+                    routing and the promotion wake can find it *)
+  mutable san : san_obj option;
 }
 
 type shared_state = {
@@ -19,6 +22,7 @@ type shared_state = {
   mutable s_writer_pid : int;
   mutable s_writer_tid : int;
   mutable s_wwaiters : int;
+  mutable s_san : san_obj option;
 }
 
 type t =
@@ -30,15 +34,31 @@ let shared_key : shared_state Univ.key = Univ.key ()
 let create () =
   Private
     { readers = []; writer = None; upgrader = None; rq = Waitq.create ();
-      wq = Waitq.create () }
+      wq = Waitq.create (); uq = Waitq.create (); san = None }
 
 let create_shared at =
   let state =
     Syncvar.locate at ~key:shared_key ~make:(fun () ->
         { s_readers = 0; s_writer = false; s_writer_pid = 0; s_writer_tid = 0;
-          s_wwaiters = 0 })
+          s_wwaiters = 0; s_san = None })
   in
   Shared { state; at }
+
+let rsan s =
+  match s.san with
+  | Some o -> o
+  | None ->
+      let o = Thrsan.new_obj ~kind:"rwlock" () in
+      s.san <- Some o;
+      o
+
+let rssan st =
+  match st.s_san with
+  | Some o -> o
+  | None ->
+      let o = Thrsan.new_obj ~kind:"rwlock(shared)" () in
+      st.s_san <- Some o;
+      o
 
 (* Writer preference: new readers are admitted only when no writer holds
    or waits and no upgrade is pending. *)
@@ -47,18 +67,23 @@ let can_read s =
 
 let can_write s = s.writer = None && s.readers = [] && s.upgrader = None
 
-let rec block_on ~waitq ~can ~admit =
-  if can () then admit ()
-  else
+let rec block_on ~self ~san ~waitq ~can ~admit =
+  if can () then begin
+    admit ();
+    if Thrsan.tracking () then Thrsan.acquired self (san ())
+  end
+  else begin
+    if Thrsan.tracking () then Thrsan.blocked_on self (san ());
     match
       Pool.suspend ~park:(fun tcb ->
           tcb.tstate <- Tblocked;
           tcb.cancel_wait <- Waitq.add waitq tcb)
     with
-    | Wake_normal -> block_on ~waitq ~can ~admit
+    | Wake_normal -> block_on ~self ~san ~waitq ~can ~admit
     | Wake_signal _ ->
         Pool.run_pending_tsigs ();
-        block_on ~waitq ~can ~admit
+        block_on ~self ~san ~waitq ~can ~admit
+  end
 
 (* Wake policy on release: one waiting writer first; with none, every
    waiting reader (they re-validate on wake). *)
@@ -71,13 +96,14 @@ let wake_next s =
         (Waitq.pop_all s.rq)
 
 let enter_priv s self kind =
+  if Thrsan.tracking () then Thrsan.acquiring self (rsan s);
   match kind with
   | Reader ->
-      block_on ~waitq:s.rq
+      block_on ~self ~san:(fun () -> rsan s) ~waitq:s.rq
         ~can:(fun () -> can_read s)
         ~admit:(fun () -> s.readers <- self :: s.readers)
   | Writer ->
-      block_on ~waitq:s.wq
+      block_on ~self ~san:(fun () -> rsan s) ~waitq:s.wq
         ~can:(fun () -> can_write s)
         ~admit:(fun () -> s.writer <- Some self)
 
@@ -85,14 +111,23 @@ let exit_priv s self =
   let is_writer = match s.writer with Some w -> w == self | None -> false in
   if is_writer then begin
     s.writer <- None;
+    if Thrsan.tracking () then Thrsan.released self (rsan s);
     wake_next s
   end
   else if List.memq self s.readers then begin
     s.readers <- List.filter (fun t -> t != self) s.readers;
+    if Thrsan.tracking () then Thrsan.released self (rsan s);
     match (s.readers, s.upgrader) with
-    | [ last ], Some up when last == up ->
-        (* the upgrader is the only reader left: promote it *)
-        Pool.make_ready up Wake_normal
+    | [ last ], Some up when last == up -> (
+        (* the upgrader is the only reader left: promote it — but only
+           if it is actually parked.  Waking it via its TCB regardless
+           (the old code) re-readied an upgrader that had been woken for
+           a signal and was not parked at all, planting a phantom runq
+           entry that an idle LWP later dispatched with no continuation
+           (BUG 14). *)
+        match Waitq.pop s.uq with
+        | Some u -> Pool.make_ready u Wake_normal
+        | None -> () (* between wakeups; it will re-check only_self *))
     | [], _ -> wake_next s
     | _ :: _, _ -> ()
   end
@@ -132,14 +167,21 @@ let try_upgrade_priv s self =
             s.upgrader <- None;
             s.writer <- Some self
           end
-          else
+          else begin
+            (* we still hold the lock as a reader, so exempt our own
+               hold at the root of the cycle check *)
+            if Thrsan.tracking () then
+              Thrsan.blocked_on ~skip_self_hold:true self (rsan s);
             match
-              Pool.suspend ~park:(fun tcb -> tcb.tstate <- Tblocked)
+              Pool.suspend ~park:(fun tcb ->
+                  tcb.tstate <- Tblocked;
+                  tcb.cancel_wait <- Waitq.add s.uq tcb)
             with
             | Wake_normal -> wait ()
             | Wake_signal _ ->
                 Pool.run_pending_tsigs ();
                 wait ()
+          end
         in
         wait ();
         true
@@ -148,33 +190,41 @@ let try_upgrade_priv s self =
 (* --- shared variant: loops over kwait with a broadcast wake ---------- *)
 
 let rec enter_shared st at self kind =
+  if Thrsan.tracking () then Thrsan.acquiring self (rssan st);
   match kind with
   | Reader ->
-      if (not st.s_writer) && st.s_wwaiters = 0 then
-        st.s_readers <- st.s_readers + 1
+      if (not st.s_writer) && st.s_wwaiters = 0 then begin
+        st.s_readers <- st.s_readers + 1;
+        if Thrsan.tracking () then Thrsan.acquired self (rssan st)
+      end
       else begin
+        if Thrsan.tracking () then Thrsan.blocked_on self (rssan st);
         (match
            Syncvar.wait at
              ~expect:(fun () -> st.s_writer || st.s_wwaiters > 0)
              ()
          with
         | `Woken | `Timeout -> ());
+        if Thrsan.tracking () then Thrsan.clear_wait self;
         enter_shared st at self kind
       end
   | Writer ->
       if (not st.s_writer) && st.s_readers = 0 then begin
         st.s_writer <- true;
         st.s_writer_pid <- self.pool.pid;
-        st.s_writer_tid <- self.tid
+        st.s_writer_tid <- self.tid;
+        if Thrsan.tracking () then Thrsan.acquired self (rssan st)
       end
       else begin
         st.s_wwaiters <- st.s_wwaiters + 1;
+        if Thrsan.tracking () then Thrsan.blocked_on self (rssan st);
         (match
            Syncvar.wait at
              ~expect:(fun () -> st.s_writer || st.s_readers > 0)
              ()
          with
         | `Woken | `Timeout -> ());
+        if Thrsan.tracking () then Thrsan.clear_wait self;
         st.s_wwaiters <- st.s_wwaiters - 1;
         enter_shared st at self kind
       end
@@ -186,10 +236,12 @@ let exit_shared st at self =
     st.s_writer <- false;
     st.s_writer_pid <- 0;
     st.s_writer_tid <- 0;
+    if Thrsan.tracking () then Thrsan.released self (rssan st);
     ignore (Syncvar.wake_all at)
   end
   else if st.s_readers > 0 then begin
     st.s_readers <- st.s_readers - 1;
+    if Thrsan.tracking () then Thrsan.released self (rssan st);
     if st.s_readers = 0 then ignore (Syncvar.wake_all at)
   end
   else failwith "Rwlock.exit: lock not held"
@@ -217,17 +269,28 @@ let exit l =
 let try_enter l kind =
   let self = Current.get () in
   charge_op ();
+  (* try-paths run signal checkpoints too: a thread spinning on
+     try_enter must not starve its pending thread-directed signals *)
+  Pool.thread_checkpoint ();
   match l with
   | Private s -> (
       match kind with
       | Reader ->
           if can_read s then begin
+            if Thrsan.tracking () then begin
+              Thrsan.acquiring self (rsan s);
+              Thrsan.acquired self (rsan s)
+            end;
             s.readers <- self :: s.readers;
             true
           end
           else false
       | Writer ->
           if can_write s then begin
+            if Thrsan.tracking () then begin
+              Thrsan.acquiring self (rsan s);
+              Thrsan.acquired self (rsan s)
+            end;
             s.writer <- Some self;
             true
           end
@@ -236,12 +299,20 @@ let try_enter l kind =
       match kind with
       | Reader ->
           if (not state.s_writer) && state.s_wwaiters = 0 then begin
+            if Thrsan.tracking () then begin
+              Thrsan.acquiring self (rssan state);
+              Thrsan.acquired self (rssan state)
+            end;
             state.s_readers <- state.s_readers + 1;
             true
           end
           else false
       | Writer ->
           if (not state.s_writer) && state.s_readers = 0 then begin
+            if Thrsan.tracking () then begin
+              Thrsan.acquiring self (rssan state);
+              Thrsan.acquired self (rssan state)
+            end;
             state.s_writer <- true;
             state.s_writer_pid <- self.pool.pid;
             state.s_writer_tid <- self.tid;
@@ -267,6 +338,7 @@ let downgrade l =
 let try_upgrade l =
   let self = Current.get () in
   charge_op ();
+  Pool.thread_checkpoint ();
   match l with
   | Private s -> try_upgrade_priv s self
   | Shared { state; _ } ->

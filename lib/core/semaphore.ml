@@ -6,12 +6,14 @@ module Cost = Sunos_hw.Cost_model
 type shared_state = { mutable s_count : int }
 
 type t =
-  | Private of { mutable count : int; waitq : Waitq.t }
+  | Private of { mutable count : int; waitq : Waitq.t;
+                 mutable san : san_obj option }
   | Shared of { state : shared_state; at : Syncvar.place }
 
 let shared_key : shared_state Univ.key = Univ.key ()
 
-let create ?(count = 0) () = Private { count; waitq = Waitq.create () }
+let create ?(count = 0) () =
+  Private { count; waitq = Waitq.create (); san = None }
 
 let create_shared ?(count = 0) at =
   let state =
@@ -26,12 +28,25 @@ let p sem =
   Pool.thread_checkpoint ();
   match sem with
   | Private s ->
+      (* order edges only: a semaphore's unit is often produced by
+         another thread, so treating p() as a held lock would flood the
+         waits-for graph with false positives *)
+      let san () =
+        match s.san with
+        | Some o -> o
+        | None ->
+            let o = Thrsan.new_obj ~kind:"semaphore" () in
+            s.san <- Some o;
+            o
+      in
+      if Thrsan.tracking () then Thrsan.acquiring self (san ());
       if s.count > 0 then s.count <- s.count - 1
       else begin
         Uctx.charge c.Cost.sync_slow_extra;
         let rec block () =
           if s.count > 0 then s.count <- s.count - 1
-          else
+          else begin
+            if Thrsan.tracking () then Thrsan.blocked_on self (san ());
             match
               Pool.suspend ~park:(fun tcb ->
                   tcb.tstate <- Tblocked;
@@ -41,6 +56,7 @@ let p sem =
             | Wake_signal _ ->
                 Pool.run_pending_tsigs ();
                 block ()
+          end
         in
         block ()
       end
@@ -72,6 +88,7 @@ let v sem =
 let try_p sem =
   let c = (Current.pool ()).cost in
   Uctx.charge c.Cost.sync_fast;
+  Pool.thread_checkpoint ();
   match sem with
   | Private s ->
       if s.count > 0 then begin

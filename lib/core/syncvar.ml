@@ -23,7 +23,22 @@ let locate p ~key ~make =
       v
 
 let wait p ?timeout ~expect () =
-  Uctx.kwait ~seg:p.seg ~offset:p.offset ?timeout ~expect ()
+  (* auto-instrument bare syncvar waits for the sanitizer; primitives
+     built on syncvars (shared mutex/rwlock) record their own richer
+     edge first, which we must not overwrite — hence the [san_waiting]
+     emptiness check.  No edge survives the wait: kernel wakeups bypass
+     [Pool.make_ready], so clear it ourselves. *)
+  if Thrsan.tracking () then begin
+    match Current.get_opt () with
+    | Some self when self.Ttypes.san_waiting = None ->
+        Thrsan.blocked_on self
+          (Thrsan.syncvar_obj ~seg:(Shm.name p.seg) ~offset:p.offset);
+        let r = Uctx.kwait ~seg:p.seg ~offset:p.offset ?timeout ~expect () in
+        Thrsan.clear_wait self;
+        r
+    | _ -> Uctx.kwait ~seg:p.seg ~offset:p.offset ?timeout ~expect ()
+  end
+  else Uctx.kwait ~seg:p.seg ~offset:p.offset ?timeout ~expect ()
 
 let wake p ~count = Uctx.kwake ~seg:p.seg ~offset:p.offset ~count
 let wake_all p = wake p ~count:max_int

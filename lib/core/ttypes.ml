@@ -58,6 +58,28 @@ and tcb = {
   pending_tsigs : Signo.t Queue.t;  (* thread-directed, not yet handled *)
   mutable stop_requested : bool;
   mutable exited : bool;
+  (* thrsan bookkeeping (see Thrsan): pure-mutation fields, written only
+     when the sanitizer is enabled (except the [None] clear in
+     make_ready, a single store) *)
+  mutable san_waiting : san_obj option;
+      (* the sync object this thread is blocked on right now; edge of
+         the waits-for graph *)
+  mutable san_held : san_obj list;
+      (* locks currently held, most recent first (lock-order checking) *)
+}
+
+(* A sanitizer's view of one synchronization object (mutex, condvar,
+   semaphore, rwlock, syncvar, lockdebug lock).  Allocated lazily, only
+   when the sanitizer first sees the object while enabled. *)
+and san_obj = {
+  so_id : int;
+  so_kind : string;
+  mutable so_name : string;
+  mutable so_holders : tcb list;  (* current owners (readers, or the one
+                                     owner); empty for condvars/semaphores *)
+  mutable so_last_holder : string;  (* "pid/tid" of the last acquirer *)
+  mutable so_acq_seq : int;  (* global acquisition sequence stamp of the
+                                most recent acquisition (the "site") *)
 }
 
 and pool = {

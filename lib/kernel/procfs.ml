@@ -6,6 +6,9 @@ type lwp_info = {
   li_class : string;
   li_prio : int;
   li_wchan : string;
+  li_parked : bool;
+  li_sleep_indefinite : bool;
+  li_sleep_interruptible : bool;
   li_utime : Sunos_sim.Time.span;
   li_stime : Sunos_sim.Time.span;
   li_bound_cpu : int option;
@@ -48,6 +51,11 @@ let lwp_info l =
     li_class = class_string l;
     li_prio = global_prio l;
     li_wchan = l.wchan;
+    li_parked = l.parked;
+    li_sleep_indefinite =
+      (match l.sleep with Some s -> s.sl_indefinite | None -> false);
+    li_sleep_interruptible =
+      (match l.sleep with Some s -> s.sl_interruptible | None -> false);
     li_utime = l.utime;
     li_stime = l.stime;
     li_bound_cpu = l.bound_cpu;

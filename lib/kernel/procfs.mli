@@ -12,6 +12,9 @@ type lwp_info = {
   li_class : string;  (** "TS" | "RT" | "GANG" *)
   li_prio : int;  (** global dispatch priority *)
   li_wchan : string;  (** wait channel when sleeping *)
+  li_parked : bool;  (** parked by lwp_park (idle pool LWP) *)
+  li_sleep_indefinite : bool;  (** sleeping with no timeout *)
+  li_sleep_interruptible : bool;  (** sleep breakable by a signal *)
   li_utime : Sunos_sim.Time.span;
   li_stime : Sunos_sim.Time.span;
   li_bound_cpu : int option;

@@ -14,6 +14,9 @@ and t = {
   mutable live : int;
   mutable cancelled_in_heap : int;
   mutable fired_count : int;
+  mutable drain_hooks : (unit -> unit) list;
+      (* fired by [run] when the queue empties; diagnostic observers
+         (e.g. the thread sanitizer's hang check), registration order *)
 }
 
 let cmp a b =
@@ -28,7 +31,10 @@ let create () =
     live = 0;
     cancelled_in_heap = 0;
     fired_count = 0;
+    drain_hooks = [];
   }
+
+let on_drain q f = q.drain_hooks <- q.drain_hooks @ [ f ]
 
 let now q = q.now
 
@@ -123,10 +129,15 @@ let run ?until ?max_events q =
   in
   loop ();
   (* If we stopped on the horizon with an empty queue, still advance. *)
-  match until with
+  (match until with
   | Some horizon when Pheap.is_empty q.heap && Time.(q.now < horizon) ->
       q.now <- horizon
-  | _ -> ()
+  | _ -> ());
+  (* Queue drained (not horizon- or budget-limited): let observers look
+     at the stalled machine.  A hook may schedule new events; we do not
+     re-enter the loop for them — this is a post-mortem, not a phase. *)
+  if q.drain_hooks <> [] && peek_live q = None then
+    List.iter (fun f -> f ()) q.drain_hooks
 
 (* [live] is exact: cancels decrement it immediately. *)
 let pending_count q = q.live

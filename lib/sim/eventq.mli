@@ -34,6 +34,13 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Drain the queue.  Stops when empty, when the next event lies beyond
     [until] (clock is then left at [until]), or after [max_events]. *)
 
+val on_drain : t -> (unit -> unit) -> unit
+(** Register a hook fired by {!run} when it stops because the queue is
+    truly empty (not horizon- or budget-limited).  Diagnostic observers
+    — e.g. the thread sanitizer's hang check — inspect the stalled
+    machine here.  Hooks run in registration order; events a hook
+    schedules are left queued, not run. *)
+
 val pending_count : t -> int
 (** Number of live (non-cancelled, unfired) events still queued.  Exact:
     cancellation is accounted immediately even though the heap deletes

@@ -15,6 +15,8 @@ module Libthread = Sunos_threads.Libthread
 module Mutex = Sunos_threads.Mutex
 module Semaphore = Sunos_threads.Semaphore
 module Syncvar = Sunos_threads.Syncvar
+module Rwlock = Sunos_threads.Rwlock
+module Lockdebug = Sunos_threads.Lockdebug
 
 let run_app ?(cpus = 1) main =
   let k = Kernel.boot ~cpus () in
@@ -321,6 +323,84 @@ let test_net_server_same_seed_identical () =
   Alcotest.(check bool) "makespan identical" true
     (Time.compare a.S.makespan b.S.makespan = 0)
 
+(* BUG 13: Lockdebug's order check only caught a *direct* ABBA
+   inversion: it looked for an already-recorded (wanted, held) edge.  A
+   three-lock cycle A->B, B->C, then C->A recorded the closing edge
+   silently — lockdep-style transitive reachability was missing.  The
+   order graph (now shared with Thrsan) does a DFS, so the cycle raises
+   on the acquisition that would close it. *)
+let test_lockdebug_transitive_order_cycle () =
+  let caught = ref false in
+  ignore
+    (run_app (fun () ->
+         Lockdebug.reset_order_graph ();
+         let a = Lockdebug.create ~name:"A" in
+         let b = Lockdebug.create ~name:"B" in
+         let c = Lockdebug.create ~name:"C" in
+         let lock2 x y =
+           Lockdebug.enter x;
+           Lockdebug.enter y;
+           Lockdebug.exit y;
+           Lockdebug.exit x
+         in
+         lock2 a b;
+         lock2 b c;
+         Lockdebug.enter c;
+         (try Lockdebug.enter a
+          with Lockdebug.Lock_order_violation _ -> caught := true);
+         Lockdebug.exit c));
+  Alcotest.(check bool) "A->B->C->A raises on the closing edge" true !caught
+
+(* BUG 14: a pending rwlock upgrader parked *bare* — no cancel_wait
+   registration, so nothing could find or cancel its park.  If a signal
+   woke it while the last other reader exited, the exit path re-readied
+   the upgrader through its TCB even though it was RUNNING its handler
+   on another LWP: the phantom runq entry passed the stale-entry check
+   (tstate stays Trunnable until dispatch) and an idle LWP dispatched a
+   thread with no continuation — assert failure, process dies with 139.
+   The upgrader now parks on a real wait queue that the promotion path
+   pops (empty while the upgrader is awake). *)
+let test_rwlock_upgrader_signal_promotion_race () =
+  let upgraded = ref false in
+  let k = Kernel.boot ~cpus:2 () in
+  ignore
+    (Kernel.spawn k ~name:"app"
+       ~main:
+         (Libthread.boot (fun () ->
+              (* three LWPs: main sleeps on one while the reader charges
+                 and the upgrader parks on the others *)
+              T.setconcurrency 3;
+              ignore
+                (T.sigaction Signo.sigusr1
+                   (Sysdefs.Sig_handler (fun _ -> Uctx.charge_us 3000)));
+              let rw = Rwlock.create () in
+              let helper =
+                T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                    Rwlock.enter rw Rwlock.Reader;
+                    Uctx.charge_us 2000;
+                    Rwlock.exit rw)
+              in
+              let w =
+                T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                    Rwlock.enter rw Rwlock.Reader;
+                    (* pends: helper still reads; parks until promoted *)
+                    if Rwlock.try_upgrade rw then begin
+                      upgraded := true;
+                      Rwlock.exit rw
+                    end)
+              in
+              (* signal the parked upgrader just before the helper's
+                 exit promotes it: the handler is still running (it
+                 charges 3000us) when the promotion happens at ~2000us *)
+              Uctx.sleep (Time.us 500);
+              T.kill w Signo.sigusr1;
+              ignore (T.wait ~thread:helper ());
+              ignore (T.wait ~thread:w ()))));
+  Kernel.run ~until:(Time.ms 100) k;
+  Alcotest.(check (option int)) "no phantom-runq crash" (Some 0)
+    (Kernel.exit_status k 1);
+  Alcotest.(check bool) "upgrade completed" true !upgraded
+
 let () =
   Alcotest.run "regressions"
     [
@@ -349,5 +429,9 @@ let () =
             test_unpark_during_park_entry;
           Alcotest.test_case "net server same-seed identical" `Quick
             test_net_server_same_seed_identical;
+          Alcotest.test_case "lockdebug transitive order cycle" `Quick
+            test_lockdebug_transitive_order_cycle;
+          Alcotest.test_case "rwlock upgrader signal promotion race" `Quick
+            test_rwlock_upgrader_signal_promotion_race;
         ] );
     ]

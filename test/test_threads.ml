@@ -504,6 +504,169 @@ let test_rwlock_writer_preference () =
   Alcotest.(check (list string)) "writer before late reader" [ "w"; "r" ]
     (List.rev !order)
 
+(* A pending upgrade parks until the other readers drain, blocks new
+   readers while it pends, and is promoted by the last reader's exit. *)
+let test_rwlock_upgrade_under_contention () =
+  let order = ref [] in
+  ignore
+    (run_app (fun () ->
+         let l = Rwlock.create () in
+         Rwlock.enter l Rwlock.Reader;
+         let up =
+           T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+               Rwlock.enter l Rwlock.Reader;
+               (* main still reads: this pends and parks *)
+               let ok = Rwlock.try_upgrade l in
+               order := (if ok then "upgraded" else "refused") :: !order;
+               Alcotest.(check bool) "is writer after upgrade" true
+                 (Rwlock.has_writer l);
+               Rwlock.exit l)
+         in
+         let late =
+           T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+               (* must NOT be admitted while the upgrade pends *)
+               Rwlock.enter l Rwlock.Reader;
+               order := "late-reader" :: !order;
+               Rwlock.exit l)
+         in
+         T.yield ();
+         order := "main-exit" :: !order;
+         Rwlock.exit l;
+         (* our exit promotes the upgrader ahead of the queued reader *)
+         ignore (T.wait ~thread:up ());
+         ignore (T.wait ~thread:late ())));
+  Alcotest.(check (list string)) "upgrader promoted before late reader"
+    [ "main-exit"; "upgraded"; "late-reader" ]
+    (List.rev !order)
+
+(* Downgrading mid-hold admits the readers queued behind the writer and
+   keeps the caller among them: all three must overlap. *)
+let test_rwlock_downgrade_under_contention () =
+  let max_readers = ref 0 in
+  ignore
+    (run_app (fun () ->
+         let l = Rwlock.create () in
+         Rwlock.enter l Rwlock.Writer;
+         let reader () =
+           Rwlock.enter l Rwlock.Reader;
+           if Rwlock.readers l > !max_readers then
+             max_readers := Rwlock.readers l;
+           T.yield ();
+           Rwlock.exit l
+         in
+         let r1 = T.create ~flags:[ T.THREAD_WAIT ] reader in
+         let r2 = T.create ~flags:[ T.THREAD_WAIT ] reader in
+         T.yield ();
+         (* both readers are queued on the write hold; downgrade lets
+            them in alongside us *)
+         Rwlock.downgrade l;
+         T.yield ();
+         Rwlock.exit l;
+         ignore (T.wait ~thread:r1 ());
+         ignore (T.wait ~thread:r2 ())));
+  Alcotest.(check int) "downgrader and both readers overlapped" 3 !max_readers
+
+(* Shared-variant writer preference: while a writer waits
+   ([s_wwaiters > 0]), a new reader can neither barge in with try_enter
+   nor be admitted by enter before the writer gets its turn. *)
+let test_rwlock_shared_writer_preference () =
+  let order = ref [] in
+  let k = Kernel.boot ~cpus:1 () in
+  (match Fs.create_file (Kernel.fs k) ~path:"/rwfile" () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "setup");
+  ignore
+    (Kernel.spawn k ~name:"app"
+       ~main:
+         (Libthread.boot (fun () ->
+              let fd = Uctx.open_file "/rwfile" in
+              let seg = Uctx.mmap fd in
+              let l = Rwlock.create_shared (Syncvar.place seg ~offset:0) in
+              Rwlock.enter l Rwlock.Reader;
+              let w =
+                T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                    Rwlock.enter l Rwlock.Writer;
+                    order := "writer-in" :: !order;
+                    Rwlock.exit l)
+              in
+              T.yield ();
+              (* the writer now waits in kwait with s_wwaiters = 1 *)
+              let r2 =
+                T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                    order :=
+                      (if Rwlock.try_enter l Rwlock.Reader then "barged"
+                       else "barge-refused")
+                      :: !order;
+                    Rwlock.enter l Rwlock.Reader;
+                    order := "reader2-in" :: !order;
+                    Rwlock.exit l)
+              in
+              T.yield ();
+              order := "main-exit" :: !order;
+              Rwlock.exit l;
+              ignore (T.wait ~thread:w ());
+              ignore (T.wait ~thread:r2 ()))));
+  Kernel.run k;
+  Alcotest.(check (list string)) "writer preferred over barging reader"
+    [ "barge-refused"; "main-exit"; "writer-in"; "reader2-in" ]
+    (List.rev !order)
+
+(* try_enter runs a signal checkpoint: a thread spinning on try-lock
+   acquisition must handle a pending thread_kill during the spin, not
+   after the lock finally frees. *)
+let test_rwlock_try_enter_checkpoint () =
+  let handled_at = ref (Time.s 999) and released_at = ref Time.zero in
+  ignore
+    (run_app ~cpus:4 (fun () ->
+         (* four cpus: the holder and killer each charge/sleep on their own
+            bound LWP while the pool LWP runs the spinner, so nothing
+            serialises behind the holder's 5ms charge *)
+         ignore
+           (T.sigaction Signo.sigusr1
+              (Sysdefs.Sig_handler (fun _ -> handled_at := Uctx.gettime ())));
+         let l = Rwlock.create () in
+         let locked = Semaphore.create () in
+         let spinning = Semaphore.create () in
+         let holder =
+           T.create
+             ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+             (fun () ->
+               Rwlock.enter l Rwlock.Writer;
+               Semaphore.v locked;
+               (* hold for 5ms measured from when the spinner is actually
+                  spinning — thread creation costs mean the spinner may
+                  not get the pool LWP until several ms in *)
+               Semaphore.p spinning;
+               Uctx.charge_us 5000;
+               released_at := Uctx.gettime ();
+               Rwlock.exit l)
+         in
+         let spinner =
+           T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+               (* don't start spinning until the writer holds the lock *)
+               Semaphore.p locked;
+               Semaphore.v spinning;
+               Semaphore.v spinning;
+               while not (Rwlock.try_enter l Rwlock.Reader) do
+                 ()
+               done;
+               Rwlock.exit l)
+         in
+         let killer =
+           T.create
+             ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+             (fun () ->
+               (* aim the kill at the middle of the spin *)
+               Semaphore.p spinning;
+               Uctx.sleep (Time.us 500);
+               T.kill spinner Signo.sigusr1)
+         in
+         ignore (T.wait ~thread:holder ());
+         ignore (T.wait ~thread:spinner ());
+         ignore (T.wait ~thread:killer ())));
+  Alcotest.(check bool) "signal handled during the spin, not after" true
+    (Time.compare !handled_at !released_at < 0)
+
 (* ------------------------- TLS ------------------------- *)
 
 let test_tls_isolation () =
@@ -898,6 +1061,14 @@ let () =
           Alcotest.test_case "try_upgrade" `Quick test_rwlock_try_upgrade;
           Alcotest.test_case "writer preference" `Quick
             test_rwlock_writer_preference;
+          Alcotest.test_case "upgrade under contention" `Quick
+            test_rwlock_upgrade_under_contention;
+          Alcotest.test_case "downgrade under contention" `Quick
+            test_rwlock_downgrade_under_contention;
+          Alcotest.test_case "shared writer preference" `Quick
+            test_rwlock_shared_writer_preference;
+          Alcotest.test_case "try_enter checkpoint" `Quick
+            test_rwlock_try_enter_checkpoint;
         ] );
       ( "tls",
         [

@@ -1,0 +1,230 @@
+(* thrsan: the deterministic runtime sanitizer.  Each test enables the
+   sanitizer programmatically (the @sanitize alias exercises the THRSAN
+   env path over the whole tier-1 suite) and disables it on the way out
+   so the switches never leak between tests. *)
+
+module Time = Sunos_sim.Time
+module Kernel = Sunos_kernel.Kernel
+module Uctx = Sunos_kernel.Uctx
+module T = Sunos_threads.Thread
+module Libthread = Sunos_threads.Libthread
+module Mutex = Sunos_threads.Mutex
+module Condvar = Sunos_threads.Condvar
+module Rwlock = Sunos_threads.Rwlock
+module Pool = Sunos_threads.Pool
+module Ttypes = Sunos_threads.Ttypes
+module Thrsan = Sunos_threads.Thrsan
+
+let with_san f =
+  Thrsan.reset ();
+  Thrsan.enable ();
+  Fun.protect ~finally:(fun () ->
+      Thrsan.set_lock_order_mode false;
+      Thrsan.disable ())
+    f
+
+(* An ABBA deadlock between two threads on two mutexes: the second
+   blocked_on closes the waits-for cycle, the sanitizer raises its
+   structured report, and the process dies of the uncaught exception
+   (status 139) instead of hanging forever. *)
+let test_waits_for_deadlock_report () =
+  with_san (fun () ->
+      let k = Kernel.boot ~cpus:1 () in
+      ignore
+        (Kernel.spawn k ~name:"abba"
+           ~main:
+             (Libthread.boot (fun () ->
+                  let ma = Mutex.create () and mb = Mutex.create () in
+                  let t1 =
+                    T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                        Mutex.enter ma;
+                        T.yield ();
+                        Mutex.enter mb;
+                        Mutex.exit mb;
+                        Mutex.exit ma)
+                  in
+                  let t2 =
+                    T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                        Mutex.enter mb;
+                        T.yield ();
+                        Mutex.enter ma;
+                        Mutex.exit ma;
+                        Mutex.exit mb)
+                  in
+                  ignore (T.wait ~thread:t1 ());
+                  ignore (T.wait ~thread:t2 ()))));
+      Kernel.run ~until:(Time.s 5) k;
+      Alcotest.(check (option int)) "process died of the deadlock"
+        (Some 139) (Kernel.exit_status k 1);
+      match Thrsan.last_deadlock () with
+      | None -> Alcotest.fail "no deadlock report"
+      | Some r ->
+          Alcotest.(check int) "two links in the cycle" 2
+            (List.length r.Thrsan.dl_links);
+          List.iter
+            (fun l ->
+              Alcotest.(check string) "both links are mutexes" "mutex"
+                l.Thrsan.wl_obj_kind;
+              Alcotest.(check bool) "each held lock has one holder" true
+                (List.length l.Thrsan.wl_holders = 1))
+            r.Thrsan.dl_links;
+          Alcotest.(check bool) "report names the cycle" true
+            (String.length r.Thrsan.dl_text > 0))
+
+(* Lock-order mode catches a 3-lock cycle transitively: a<b and b<c are
+   recorded on clean runs, so c-then-a trips the DFS even though a and c
+   were never held together before. *)
+let test_lock_order_transitive_cycle () =
+  with_san (fun () ->
+      Thrsan.set_lock_order_mode true;
+      let caught = ref false in
+      let k = Kernel.boot ~cpus:1 () in
+      ignore
+        (Kernel.spawn k ~name:"order"
+           ~main:
+             (Libthread.boot (fun () ->
+                  let a = Mutex.create ()
+                  and b = Mutex.create ()
+                  and c = Mutex.create () in
+                  let lock2 x y =
+                    Mutex.enter x; Mutex.enter y; Mutex.exit y; Mutex.exit x
+                  in
+                  lock2 a b;
+                  lock2 b c;
+                  Mutex.enter c;
+                  (try Mutex.enter a
+                   with Thrsan.Lock_order_violation _ -> caught := true);
+                  Mutex.exit c)));
+      Kernel.run k;
+      Alcotest.(check bool) "transitive inversion caught" true !caught)
+
+(* Hang diagnosis on the A2 ablation scenario: with pool growth disabled
+   the only LWP blocks in a pipe read while a runnable thread (holding
+   the write side's work) starves.  The drain hook must name both the
+   starved thread and the sleeping LWP. *)
+let test_hang_report_auto_grow_off () =
+  with_san (fun () ->
+      let k = Kernel.boot ~cpus:2 () in
+      Thrsan.watch k;
+      ignore
+        (Kernel.spawn k ~name:"a2"
+           ~main:
+             (Libthread.boot ~auto_grow:false (fun () ->
+                  let rfd, wfd = Uctx.pipe () in
+                  ignore (T.create (fun () -> ignore (Uctx.write wfd "go")));
+                  ignore (Uctx.read rfd ~len:10))));
+      Kernel.run ~until:(Time.s 5) k;
+      match Thrsan.last_hang () with
+      | None -> Alcotest.fail "no hang report"
+      | Some h ->
+          Alcotest.(check bool) "a runnable thread is starving" true
+            (List.exists
+               (fun t -> t.Thrsan.ht_state = "runnable")
+               h.Thrsan.hr_threads);
+          Alcotest.(check bool) "the LWP sleeps indefinitely in the pipe"
+            true
+            (List.exists
+               (fun l ->
+                 l.Thrsan.hl_indefinite
+                 && l.Thrsan.hl_wchan = "pipe_read")
+               h.Thrsan.hr_lwps);
+          Alcotest.(check bool) "report is rendered" true
+            (String.length h.Thrsan.hr_text > 0))
+
+(* Hang diagnosis knows what a blocked thread is blocked ON: a condvar
+   wait that is never signalled shows up with the object description. *)
+let test_hang_report_names_condvar () =
+  with_san (fun () ->
+      let k = Kernel.boot ~cpus:1 () in
+      Thrsan.watch k;
+      ignore
+        (Kernel.spawn k ~name:"lost-signal"
+           ~main:
+             (Libthread.boot (fun () ->
+                  let m = Mutex.create () and cv = Condvar.create () in
+                  let w =
+                    T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                        Mutex.enter m;
+                        Condvar.wait cv m;
+                        Mutex.exit m)
+                  in
+                  ignore (T.wait ~thread:w ()))));
+      Kernel.run ~until:(Time.s 5) k;
+      match Thrsan.last_hang () with
+      | None -> Alcotest.fail "no hang report"
+      | Some h ->
+          Alcotest.(check bool) "waiter reported blocked on the condvar"
+            true
+            (List.exists
+               (fun t ->
+                 t.Thrsan.ht_state = "blocked"
+                 && String.length t.Thrsan.ht_on >= 7
+                 && String.sub t.Thrsan.ht_on 0 7 = "condvar")
+               h.Thrsan.hr_threads))
+
+(* The bare-park audit: a thread that parks Tblocked without registering
+   cancel_wait anywhere (and without a waits-for edge) is invisible to
+   wakers and to signal routing; the scheduler flags it. *)
+let test_bare_park_flagged () =
+  with_san (fun () ->
+      let k = Kernel.boot ~cpus:1 () in
+      ignore
+        (Kernel.spawn k ~name:"bare"
+           ~main:
+             (Libthread.boot (fun () ->
+                  let lost =
+                    T.create ~flags:[ T.THREAD_WAIT ] (fun () ->
+                        ignore
+                          (Pool.suspend ~park:(fun tcb ->
+                               tcb.Ttypes.tstate <- Ttypes.Tblocked)))
+                  in
+                  ignore (T.wait ~thread:lost ()))));
+      Kernel.run ~until:(Time.s 5) k;
+      Alcotest.(check bool) "bare park recorded" true
+        (Thrsan.bare_parks () <> []))
+
+(* Zero-cost-off sanity: with tracking off, the hooks record nothing. *)
+let test_disabled_records_nothing () =
+  Thrsan.reset ();
+  Thrsan.disable ();
+  let k = Kernel.boot ~cpus:1 () in
+  ignore
+    (Kernel.spawn k ~name:"quiet"
+       ~main:
+         (Libthread.boot (fun () ->
+              let m = Mutex.create () in
+              Mutex.enter m;
+              Mutex.exit m)));
+  Kernel.run k;
+  Alcotest.(check bool) "no reports when off" true
+    (Thrsan.last_deadlock () = None
+    && Thrsan.last_hang () = None
+    && Thrsan.bare_parks () = [])
+
+let () =
+  Alcotest.run "thrsan"
+    [
+      ( "deadlock",
+        [
+          Alcotest.test_case "ABBA waits-for cycle" `Quick
+            test_waits_for_deadlock_report;
+        ] );
+      ( "lock-order",
+        [
+          Alcotest.test_case "transitive 3-lock cycle" `Quick
+            test_lock_order_transitive_cycle;
+        ] );
+      ( "hang",
+        [
+          Alcotest.test_case "A2 pool starvation" `Quick
+            test_hang_report_auto_grow_off;
+          Alcotest.test_case "names the condvar" `Quick
+            test_hang_report_names_condvar;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "bare park" `Quick test_bare_park_flagged;
+          Alcotest.test_case "off records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+    ]
