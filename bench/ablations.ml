@@ -10,10 +10,13 @@ module Libthread = Sunos_threads.Libthread
 module Mutex = Sunos_threads.Mutex
 module Thrsan = Sunos_threads.Thrsan
 module W = Sunos_workloads.Window_system
+module Db = Sunos_workloads.Database
+module Microbench = Sunos_workloads.Microbench
+module Cost = Sunos_hw.Cost_model
 module S = Sunos_workloads.Net_server
 module A = Sunos_workloads.Array_compute
 
-let section title = Printf.printf "\n=== %s ===\n\n" title
+let section title = Bout.printf "\n=== %s ===\n\n" title
 
 let p50_ms h =
   if Hist.count h = 0 then nan else Time.to_ms (Hist.percentile h 0.5)
@@ -25,28 +28,28 @@ let p99_ms h =
 let models () =
   section "A1: M:N vs 1:1 vs user-only vs activations";
   let wp = { W.default_params with widgets = 150; events = 400 } in
-  Printf.printf "window system (%d widgets, %d events):\n" wp.W.widgets
+  Bout.printf "window system (%d widgets, %d events):\n" wp.W.widgets
     wp.W.events;
-  Printf.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "threads" "LWPs"
+  Bout.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "threads" "LWPs"
     "p50 (ms)" "p99 (ms)" "makespan";
   List.iter
     (fun (module M : Sunos_baselines.Model.S) ->
       let r = W.run (module M) ~cpus:2 wp in
-      Printf.printf "  %-12s %8d %6d %12.2f %12.2f %9.0f ms\n" M.name
+      Bout.printf "  %-12s %8d %6d %12.2f %12.2f %9.0f ms\n" M.name
         r.W.threads_created r.W.lwps_created (p50_ms r.W.latency)
         (p99_ms r.W.latency)
         (Time.to_ms r.W.makespan))
     Sunos_baselines.Model.all;
   let sp = S.default_params in
-  Printf.printf
+  Bout.printf
     "\nnetwork server (%d connections x %d requests, 1/%d hit the disk):\n"
     sp.S.connections sp.S.requests_per_conn sp.S.disk_every;
-  Printf.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "served" "LWPs"
+  Bout.printf "  %-12s %8s %6s %12s %12s %12s\n" "model" "served" "LWPs"
     "p50 (ms)" "p99 (ms)" "req/s";
   List.iter
     (fun (module M : Sunos_baselines.Model.S) ->
       let r = S.run (module M) ~cpus:1 sp in
-      Printf.printf "  %-12s %8d %6d %12.2f %12.2f %12.0f\n" M.name r.S.served
+      Bout.printf "  %-12s %8d %6d %12.2f %12.2f %12.0f\n" M.name r.S.served
         r.S.lwps_created (p50_ms r.S.latency) (p99_ms r.S.latency)
         r.S.throughput_rps)
     Sunos_baselines.Model.all
@@ -81,17 +84,17 @@ let sigwaiting () =
   in
   let ok_on, sw_on, lwps_on = run_case ~auto_grow:true in
   let ok_off, sw_off, lwps_off = run_case ~auto_grow:false in
-  Printf.printf "  %-22s %10s %12s %6s\n" "configuration" "completed"
+  Bout.printf "  %-22s %10s %12s %6s\n" "configuration" "completed"
     "SIGWAITINGs" "LWPs";
-  Printf.printf "  %-22s %10b %12d %6d\n" "auto_grow=true" ok_on sw_on lwps_on;
-  Printf.printf "  %-22s %10b %12d %6d   <- deadlocked\n" "auto_grow=false"
+  Bout.printf "  %-22s %10b %12d %6d\n" "auto_grow=true" ok_on sw_on lwps_on;
+  Bout.printf "  %-22s %10b %12d %6d   <- deadlocked\n" "auto_grow=false"
     ok_off sw_off lwps_off;
   match Thrsan.last_hang () with
   | None -> ()
   | Some h ->
-      Printf.printf "\n  thrsan hang diagnosis of auto_grow=false:\n";
+      Bout.printf "\n  thrsan hang diagnosis of auto_grow=false:\n";
       String.split_on_char '\n' h.Thrsan.hr_text
-      |> List.iter (fun line -> Printf.printf "    %s\n" line)
+      |> List.iter (fun line -> Bout.printf "    %s\n" line)
 
 (* A3: mutex variants under contention.  Three bound threads on two CPUs
    hammer one lock with desynchronized think times, so collisions are
@@ -133,22 +136,22 @@ let mutexes () =
     Kernel.run k;
     (Time.to_ms !makespan, Time.to_ms !cpu_used)
   in
-  Printf.printf "  %-10s %26s %26s\n" "variant" "short CS (40us)"
+  Bout.printf "  %-10s %26s %26s\n" "variant" "short CS (40us)"
     "long CS (3000us)";
-  Printf.printf "  %-10s %15s %10s %15s %10s\n" "" "makespan" "cpu" "makespan"
+  Bout.printf "  %-10s %15s %10s %15s %10s\n" "" "makespan" "cpu" "makespan"
     "cpu";
   List.iter
     (fun (name, v) ->
       let m1, c1 = run_case v ~cs_us:40 in
       let m2, c2 = run_case v ~cs_us:3000 in
-      Printf.printf "  %-10s %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" name m1
+      Bout.printf "  %-10s %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" name m1
         c1 m2 c2)
     [ ("spin", Mutex.Spin); ("sleep", Mutex.Sleep); ("adaptive", Mutex.Adaptive) ];
   (* the adaptive variant's spin budget, swept through the cost model
      (Basic Lock Algorithms in Lightweight Thread Environments): a short
      budget degenerates to sleep, an over-long one to spin *)
-  Printf.printf "\nadaptive spin budget sweep (probes before sleeping):\n";
-  Printf.printf "  %-10s %26s %26s\n" "budget" "short CS (40us)"
+  Bout.printf "\nadaptive spin budget sweep (probes before sleeping):\n";
+  Bout.printf "  %-10s %26s %26s\n" "budget" "short CS (40us)"
     "long CS (3000us)";
   List.iter
     (fun limit ->
@@ -157,7 +160,7 @@ let mutexes () =
       in
       let m1, c1 = run_case ~cost Mutex.Adaptive ~cs_us:40 in
       let m2, c2 = run_case ~cost Mutex.Adaptive ~cs_us:3000 in
-      Printf.printf "  %-10d %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" limit m1
+      Bout.printf "  %-10d %12.2f ms %7.1f ms %12.2f ms %7.1f ms\n" limit m1
         c1 m2 c2)
     [ 0; 1; 5; 20; 100 ]
 
@@ -186,10 +189,10 @@ let forks () =
     Kernel.run k;
     Time.to_ms !elapsed
   in
-  Printf.printf "  %-8s %14s %14s\n" "LWPs" "fork() (ms)" "fork1() (ms)";
+  Bout.printf "  %-8s %14s %14s\n" "LWPs" "fork() (ms)" "fork1() (ms)";
   List.iter
     (fun lwps ->
-      Printf.printf "  %-8d %14.2f %14.2f\n" lwps
+      Bout.printf "  %-8d %14.2f %14.2f\n" lwps
         (measure ~lwps ~use_fork:true)
         (measure ~lwps ~use_fork:false))
     [ 1; 4; 16; 64 ]
@@ -198,14 +201,14 @@ let forks () =
 let array () =
   section "A5: parallel array: unbound multiplexing vs bound-per-CPU vs gang";
   let cpus = 4 in
-  Printf.printf "  %-26s %12s %10s\n" "configuration" "makespan" "switches";
+  Bout.printf "  %-26s %12s %10s\n" "configuration" "makespan" "switches";
   List.iter
     (fun (label, mode, spin, load) ->
       let r =
         A.run ~cpus ~background_load:load
           { A.default_params with mode; spin_barrier = spin }
       in
-      Printf.printf "  %-26s %9.1f ms %10d\n" label
+      Bout.printf "  %-26s %9.1f ms %10d\n" label
         (Time.to_ms r.A.makespan) r.A.thread_switches)
     [
       ("unbound x64", A.Unbound 64, false, false);
@@ -243,11 +246,11 @@ let sched () =
     Kernel.run k;
     lat
   in
-  Printf.printf "  %-18s %16s %16s\n" "quantum" "wakeup lag p50" "wakeup lag p99";
+  Bout.printf "  %-18s %16s %16s\n" "quantum" "wakeup lag p50" "wakeup lag p99";
   List.iter
     (fun q ->
       let h = run_case ~quantum_ms:q in
-      Printf.printf "  %-15d ms %13.2f ms %13.2f ms\n" q (p50_ms h) (p99_ms h))
+      Bout.printf "  %-15d ms %13.2f ms %13.2f ms\n" q (p50_ms h) (p99_ms h))
     [ 10; 100; 1000 ]
 
 (* A7: the LWP interface as a language-runtime substrate (Fortran
@@ -255,7 +258,7 @@ let sched () =
 let microtask () =
   section "A7: microtasking on raw LWPs vs bound threads (4 CPUs)";
   let module M = Sunos_workloads.Microtask in
-  Printf.printf "  %-22s %14s %14s
+  Bout.printf "  %-22s %14s %14s
 " "grain per iteration" "raw LWPs"
     "bound threads";
   List.iter
@@ -263,7 +266,7 @@ let microtask () =
       let p = { M.default_params with M.grain_us; doalls = 10 } in
       let raw = M.run ~cpus:4 { p with M.mode = M.Raw_lwps } in
       let thr = M.run ~cpus:4 { p with M.mode = M.Bound_threads } in
-      Printf.printf "  %-19dus %11.2f ms %11.2f ms
+      Bout.printf "  %-19dus %11.2f ms %11.2f ms
 " grain_us
         (Time.to_ms raw.M.makespan)
         (Time.to_ms thr.M.makespan))
@@ -321,18 +324,73 @@ let broadcast () =
   in
   let runs_single, t_single = run_case ~broadcast:false in
   let runs_bcast, t_bcast = run_case ~broadcast:true in
-  Printf.printf "  %-28s %14s %12s
+  Bout.printf "  %-28s %14s %12s
 " "delivery (10 signals sent)"
     "handler runs" "makespan";
-  Printf.printf "  %-28s %14d %9.2f ms
+  Bout.printf "  %-28s %14d %9.2f ms
 " "SunOS: one eligible thread"
     runs_single t_single;
-  Printf.printf "  %-28s %14d %9.2f ms   <- storm
+  Bout.printf "  %-28s %14d %9.2f ms   <- storm
 "
     "Chorus-style broadcast" runs_bcast t_bcast;
-  Printf.printf
+  Bout.printf
     "  (broadcast also makes the number of signals received uncountable,      as the paper notes)
 "
+
+(* A9: run-ahead charge coalescing window.  The budget a resumed fiber
+   may burn before trapping back into the event queue is capped by the
+   cost model's [coalesce_window]; this sweep shows the wall-clock
+   response (off = every charge is an event) and checks the invariant
+   the design rests on: the window is invisible to the simulation, so
+   every simulated figure must be bit-identical across the sweep. *)
+let coalesce ?(smoke = false) () =
+  section "A9: run-ahead charge coalescing window sweep";
+  let txns = if smoke then 40 else 400 in
+  let db_p =
+    {
+      Db.default_params with
+      processes = 2;
+      threads_per_process = 8;
+      transactions_per_thread = txns;
+      records = 2048;
+      io_every = 25;
+      mmap_io = true;
+    }
+  in
+  Bout.printf "  %-8s %10s %16s %14s\n" "window" "wall (s)"
+    "sync bound (us)" "db makespan";
+  let baseline = ref None in
+  let drifted = ref false in
+  List.iter
+    (fun (name, cost) ->
+      let t0 = Unix.gettimeofday () in
+      let sy = Microbench.sync ~cost () in
+      let r = Db.run ~cpus:2 ~cost db_p in
+      let wall = Unix.gettimeofday () -. t0 in
+      Bout.printf "  %-8s %10.3f %16.1f %11.2f ms\n" name wall
+        sy.Microbench.bound_us
+        (Time.to_ms r.Db.makespan);
+      match !baseline with
+      | None -> baseline := Some (sy, r.Db.makespan, r.Db.committed)
+      | Some (sy0, mk0, c0) ->
+          if not (sy0 = sy && mk0 = r.Db.makespan && c0 = r.Db.committed)
+          then begin
+            drifted := true;
+            Bout.printf "  ^^^ SIMULATED RESULTS DRIFTED at window %s\n" name
+          end)
+    [
+      ("off", { Cost.default with coalesce = false });
+      ("100us", { Cost.default with coalesce_window = Time.us 100 });
+      ("1ms", { Cost.default with coalesce_window = Time.ms 1 });
+      ("10ms", { Cost.default with coalesce_window = Time.ms 10 });
+      ("100ms", { Cost.default with coalesce_window = Time.ms 100 });
+    ];
+  if !drifted then begin
+    Printf.eprintf
+      "ablation-coalesce: simulated results depend on the coalesce window\n";
+    exit 1
+  end
+
 
 let all () =
   models ();
@@ -342,4 +400,5 @@ let all () =
   array ();
   microtask ();
   broadcast ();
-  sched ()
+  sched ();
+  coalesce ()

@@ -1,0 +1,27 @@
+(* Bench output, capturable per domain.  The [-j N] runner executes
+   whole targets on worker domains; interleaved stdout would make the
+   report order depend on scheduling.  Each worker instead runs its
+   target under [capture], which redirects this module's [printf] into a
+   domain-local buffer, and the runner prints the buffers in target
+   order.  Outside a capture (plain sequential runs), [printf] goes
+   straight to stdout, so single-threaded output is unchanged. *)
+
+let buf_key : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let emit s =
+  match !(Domain.DLS.get buf_key) with
+  | Some b -> Buffer.add_string b s
+  | None ->
+      print_string s;
+      flush stdout
+
+let printf fmt = Printf.ksprintf emit fmt
+
+let capture f =
+  let slot = Domain.DLS.get buf_key in
+  let saved = !slot in
+  let b = Buffer.create 4096 in
+  slot := Some b;
+  Fun.protect ~finally:(fun () -> slot := saved) f;
+  Buffer.contents b

@@ -19,7 +19,7 @@ module Syncvar = Sunos_threads.Syncvar
 let us = Time.to_us
 
 let section title =
-  Printf.printf "\n=== %s ===\n\n" title
+  Bout.printf "\n=== %s ===\n\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: synchronization variables shared via a mapped file        *)
@@ -65,14 +65,14 @@ let fig1 () =
   ignore
     (Kernel.spawn k ~name:"p2" ~main:(Libthread.boot (proc "process-2" ~creator:false)));
   Kernel.run k;
-  Printf.printf "lock/unlock sequence on the mapped record lock:\n";
+  Bout.printf "lock/unlock sequence on the mapped record lock:\n";
   List.iter
-    (fun (who, what) -> Printf.printf "  %-10s %s\n" who what)
+    (fun (who, what) -> Bout.printf "  %-10s %s\n" who what)
     (List.rev !log);
-  Printf.printf
+  Bout.printf
     "\ncritical sections executed: %d   overlap observed: %b (must be false)\n"
     (List.length !log / 2) !overlap;
-  Printf.printf
+  Bout.printf
     "the lock variable lived in the file and outlived process-1's exit.\n"
 
 (* ------------------------------------------------------------------ *)
@@ -106,8 +106,8 @@ let fig2 () =
                 :: !steps)));
   let dispatches_before = Kernel.dispatch_count k in
   Kernel.run k;
-  List.iter (Printf.printf "  %s\n") (List.rev !steps);
-  Printf.printf
+  List.iter (Bout.printf "  %s\n") (List.rev !steps);
+  Bout.printf
     "\nkernel dispatches for the whole run: %d (the thread switches above \
      never entered the kernel)\n"
     (Kernel.dispatch_count k - dispatches_before)
@@ -183,9 +183,9 @@ let fig3 () =
               finish (bound :: unbound))));
   (* snapshot while everyone is alive *)
   Kernel.run ~until:(Time.ms 20) k;
-  Format.printf "%a" Procfs.pp k;
+  Bout.printf "%s" (Format.asprintf "%a" Procfs.pp k);
   Kernel.run k;
-  Printf.printf
+  Bout.printf
     "(snapshot at t=20ms; lwp counts per process realize the figure's five \
      shapes)\n"
 
@@ -219,10 +219,10 @@ let fig4 () =
       ("SIGWAITING pool growth", "Libthread.boot ~auto_grow:true");
     ]
   in
-  Printf.printf "%-58s %s\n" "paper (Figure 4 / text)" "this library";
-  Printf.printf "%s\n" (String.make 110 '-');
-  List.iter (fun (a, b) -> Printf.printf "%-58s %s\n" a b) rows;
-  Printf.printf "\nall %d entry points implemented and under test.\n"
+  Bout.printf "%-58s %s\n" "paper (Figure 4 / text)" "this library";
+  Bout.printf "%s\n" (String.make 110 '-');
+  List.iter (fun (a, b) -> Bout.printf "%-58s %s\n" a b) rows;
+  Bout.printf "\nall %d entry points implemented and under test.\n"
     (List.length rows)
 
 (* ------------------------------------------------------------------ *)
@@ -234,11 +234,11 @@ let fig5 () =
   let r = Sunos_workloads.Microbench.creation () in
   let unbound = r.Sunos_workloads.Microbench.unbound_us in
   let bound = r.Sunos_workloads.Microbench.bound_us in
-  Printf.printf "%-28s %10s %8s    %s\n" "" "time (us)" "ratio"
+  Bout.printf "%-28s %10s %8s    %s\n" "" "time (us)" "ratio"
     "paper (us, ratio)";
-  Printf.printf "%-28s %10.0f %8s    %s\n" "Unbound thread create" unbound ""
+  Bout.printf "%-28s %10.0f %8s    %s\n" "Unbound thread create" unbound ""
     "56";
-  Printf.printf "%-28s %10.0f %8.0f    %s\n" "Bound thread create" bound
+  Bout.printf "%-28s %10.0f %8.0f    %s\n" "Bound thread create" bound
     (bound /. unbound) "2327, 42";
   (unbound, bound)
 
@@ -250,14 +250,14 @@ let fig6 () =
   section "Figure 6: thread synchronization time (semaphore ping-pong / 2)";
   let r = Sunos_workloads.Microbench.sync () in
   let open Sunos_workloads.Microbench in
-  Printf.printf "%-28s %10s %8s    %s\n" "" "time (us)" "ratio"
+  Bout.printf "%-28s %10s %8s    %s\n" "" "time (us)" "ratio"
     "paper (us, ratio)";
-  Printf.printf "%-28s %10.0f %8s    %s\n" "Setjmp/longjmp" r.setjmp_us "" "59";
-  Printf.printf "%-28s %10.0f %8.1f    %s\n" "Unbound thread sync" r.unbound_us
+  Bout.printf "%-28s %10.0f %8s    %s\n" "Setjmp/longjmp" r.setjmp_us "" "59";
+  Bout.printf "%-28s %10.0f %8.1f    %s\n" "Unbound thread sync" r.unbound_us
     (r.unbound_us /. r.setjmp_us) "158, 2.7";
-  Printf.printf "%-28s %10.0f %8.1f    %s\n" "Bound thread sync" r.bound_us
+  Bout.printf "%-28s %10.0f %8.1f    %s\n" "Bound thread sync" r.bound_us
     (r.bound_us /. r.unbound_us) "348, 2.2";
-  Printf.printf "%-28s %10.0f %8.2f    %s\n" "Cross process thread sync"
+  Bout.printf "%-28s %10.0f %8.2f    %s\n" "Cross process thread sync"
     r.cross_process_us
     (r.cross_process_us /. r.bound_us)
     "301, .86";
@@ -284,8 +284,8 @@ let server_scaling ?(smoke = false) () =
      must hold them all while poll stays O(fds) *)
   let conn_rows = if smoke then [ 30 ] else [ 100; 300; 1000 ] in
   let cpus = if smoke then 2 else 4 in
-  Printf.printf "connections x idle think time (%d CPUs, M:N):\n" cpus;
-  Printf.printf "  %6s %6s %7s %8s %10s %10s %8s %6s\n" "conns" "peak"
+  Bout.printf "connections x idle think time (%d CPUs, M:N):\n" cpus;
+  Bout.printf "  %6s %6s %7s %8s %10s %10s %8s %6s\n" "conns" "peak"
     "served" "refused" "p50 (ms)" "p99 (ms)" "req/s" "LWPs";
   List.iter
     (fun conns ->
@@ -309,7 +309,7 @@ let server_scaling ?(smoke = false) () =
         }
       in
       let r = S.run (module Sunos_baselines.Mt) ~cpus p in
-      Printf.printf "  %6d %6d %7d %8d %10.2f %10.2f %8.0f %6d\n" conns
+      Bout.printf "  %6d %6d %7d %8d %10.2f %10.2f %8.0f %6d\n" conns
         r.S.max_concurrent r.S.served r.S.refused (p50 r.S.latency)
         (p99 r.S.latency) r.S.throughput_rps r.S.lwps_created)
     conn_rows;
@@ -318,9 +318,9 @@ let server_scaling ?(smoke = false) () =
      Amdahl term) *)
   let cpu_rows = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
   let conns = if smoke then 40 else 200 in
-  Printf.printf "\nCPU scaling, compute-bound requests (%d connections):\n"
+  Bout.printf "\nCPU scaling, compute-bound requests (%d connections):\n"
     conns;
-  Printf.printf "  %6s %6s %7s %8s %10s %10s %8s\n" "cpus" "peak" "served"
+  Bout.printf "  %6s %6s %7s %8s %10s %10s %8s\n" "cpus" "peak" "served"
     "refused" "p50 (ms)" "p99 (ms)" "req/s";
   let base = ref nan in
   List.iter
@@ -343,11 +343,11 @@ let server_scaling ?(smoke = false) () =
       in
       let r = S.run (module Sunos_baselines.Mt) ~cpus p in
       if Float.is_nan !base then base := r.S.throughput_rps;
-      Printf.printf "  %6d %6d %7d %8d %10.2f %10.2f %8.0f  (%.1fx)\n" cpus
+      Bout.printf "  %6d %6d %7d %8d %10.2f %10.2f %8.0f  (%.1fx)\n" cpus
         r.S.max_concurrent r.S.served r.S.refused (p50 r.S.latency)
         (p99 r.S.latency) r.S.throughput_rps
         (r.S.throughput_rps /. !base))
     cpu_rows;
-  Printf.printf
+  Bout.printf
     "\n(the accept path drains the backlog per poll wakeup; throughput \
      flattens\nas the serial O(fds) poller becomes the Amdahl term)\n"

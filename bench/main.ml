@@ -1,9 +1,11 @@
 (* Benchmark harness: regenerates every figure in the paper plus the
    ablations in EXPERIMENTS.md.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig5    # one figure
-     dune exec bench/main.exe -- list    # available targets *)
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig5         # one figure
+     dune exec bench/main.exe -- -j 4         # everything, 4 worker domains
+     dune exec bench/main.exe -- --label=pr9 wallclock-scaling
+     dune exec bench/main.exe -- list         # available targets *)
 
 let targets : (string * string * (unit -> unit)) list =
   [
@@ -27,36 +29,98 @@ let targets : (string * string * (unit -> unit)) list =
     ("ablation-sched", "timeshare quantum responsiveness", Ablations.sched);
     ("ablation-microtask", "raw-LWP language runtime vs bound threads", Ablations.microtask);
     ("ablation-broadcast", "single signal delivery vs Chorus broadcast", Ablations.broadcast);
+    ( "ablation-coalesce",
+      "run-ahead charge coalescing window sweep",
+      fun () -> Ablations.coalesce () );
+    ( "ablation-coalesce-smoke",
+      "fast coalescing sweep: checks simulated results are window-invariant",
+      fun () -> Ablations.coalesce ~smoke:true () );
     ("wallclock", "Bechamel microbenchmarks of the engine", Wallclock.benchmark);
     ( "wallclock-scaling",
-      "wall-clock of engine-stressing workloads; emits BENCH_wallclock.json",
+      "wall-clock of engine-stressing workloads; appends to BENCH_wallclock.json",
       Wallclock.scaling );
     ( "wallclock-smoke",
-      "reduced-scale wallclock sections with a 5x regression gate",
+      "reduced-scale wallclock sections with time and allocation gates",
       Wallclock.smoke );
   ]
 
-let run_all () =
-  Printf.printf
-    "SunOS Multi-thread Architecture reproduction — benchmark suite\n";
-  Printf.printf
-    "(simulated SPARCstation 1+ cost model; paper values alongside)\n";
-  List.iter (fun (_, _, f) -> f ()) targets
+(* Run the selected targets on [jobs] worker domains.  Each simulated
+   machine is single-threaded and domain-confined (all cross-machine
+   state is DLS or atomic), so whole targets parallelize freely; output
+   stays readable because of Bout.capture — workers buffer their report
+   and the results print in target order.  Simulated figures are
+   identical to a `-j 1` run; only wall-clock and GC readings move, as
+   co-running domains share the machine. *)
+let run_parallel jobs selected =
+  let n = Array.length selected in
+  let out = Array.make n "" in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let _, _, f = selected.(i) in
+        out.(i) <- Bout.capture f;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains =
+    List.init (min jobs n) (fun _ -> Domain.spawn worker)
+  in
+  List.iter Domain.join domains;
+  Array.iter print_string out;
+  flush stdout
+
+let run jobs selected =
+  if jobs <= 1 then Array.iter (fun (_, _, f) -> f ()) selected
+  else run_parallel jobs selected
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> run_all ()
-  | [ _; "list" ] ->
-      List.iter (fun (n, d, _) -> Printf.printf "%-22s %s\n" n d) targets
-  | _ :: names ->
-      List.iter
-        (fun name ->
-          match List.find_opt (fun (n, _, _) -> n = name) targets with
-          | Some (_, _, f) -> f ()
-          | None ->
-              Printf.eprintf
-                "unknown target %S (try: dune exec bench/main.exe -- list)\n"
-                name;
-              exit 1)
-        names
-  | [] -> ()
+  let jobs = ref 1 in
+  let names = ref [] in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+        jobs := max 1 (int_of_string n);
+        parse rest
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--label=" ->
+        Wallclock.label := String.sub arg 8 (String.length arg - 8);
+        parse rest
+    | "list" :: rest ->
+        list_only := true;
+        parse rest
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then
+    List.iter (fun (n, d, _) -> Printf.printf "%-24s %s\n" n d) targets
+  else begin
+    let selected =
+      match List.rev !names with
+      | [] ->
+          Printf.printf
+            "SunOS Multi-thread Architecture reproduction — benchmark suite\n";
+          Printf.printf
+            "(simulated SPARCstation 1+ cost model; paper values alongside)\n";
+          Array.of_list targets
+      | names ->
+          Array.of_list
+            (List.map
+               (fun name ->
+                 match List.find_opt (fun (n, _, _) -> n = name) targets with
+                 | Some t -> t
+                 | None ->
+                     Printf.eprintf
+                       "unknown target %S (try: dune exec bench/main.exe -- \
+                        list)\n"
+                       name;
+                     exit 1)
+               names)
+    in
+    run !jobs selected
+  end

@@ -6,6 +6,7 @@
 module Time = Sunos_sim.Time
 module Eventq = Sunos_sim.Eventq
 module Pheap = Sunos_sim.Pheap
+module Cost = Sunos_hw.Cost_model
 module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
 module T = Sunos_threads.Thread
@@ -71,22 +72,27 @@ let test_sim_thread_roundtrip =
 (* ------------------------------------------------------------------ *)
 
 (* Each section times one engine-stressing workload at full scale (the
-   [scaling] target, which also emits BENCH_wallclock.json at the
-   invoker's cwd — run it from the repo root) and at reduced scale (the
-   [smoke] target wired into dune runtest, which fails when a section
-   regresses by more than 5x over its recorded baseline, catching
-   accidental quadratic reintroductions).
+   [scaling] target, which appends a labelled run to BENCH_wallclock.json
+   at the invoker's cwd — run it from the repo root) and at reduced scale
+   (the [smoke] target wired into dune runtest, which fails when a
+   section regresses by more than 5x wall-clock or 3x minor allocation
+   over its recorded baseline, catching accidental quadratic or
+   allocation-storm reintroductions).
 
-   [before_s] is the wall-clock recorded on the PR 1 tree (pre O(1)
-   dispatcher / lazy tracing / event-queue compaction) on the reference
-   container; [smoke_baseline_s] is the post-rewrite smoke-scale
-   recording that the 5x regression gate compares against. *)
+   Kernel-backed sections run twice at full scale — run-ahead charge
+   coalescing off, then on — so the JSON trajectory records the benefit
+   of batched CPU accounting alongside the GC counters that explain it
+   (coalesced charges never build Charge-effect continuations or settle
+   events, so minor allocation drops with the event count). *)
 
 module S = Sunos_workloads.Net_server
 module Db = Sunos_workloads.Database
 module Microbench = Sunos_workloads.Microbench
 
-let server_conns ~conns ~cpus () =
+let cost_of ~coalesce =
+  if coalesce then Cost.default else { Cost.default with coalesce = false }
+
+let server_conns ~conns ~cpus ~coalesce =
   let p =
     {
       S.default_params with
@@ -103,28 +109,51 @@ let server_conns ~conns ~cpus () =
       listen_backlog = 512;
     }
   in
-  ignore (S.run (module Sunos_baselines.Mt) ~cpus p)
+  ignore (S.run (module Sunos_baselines.Mt) ~cpus ~cost:(cost_of ~coalesce) p)
 
-let server_compute ~conns ~cpus () =
+(* Compute-bound uniprocessor server (the paper's own machine class): no
+   think time, long tokenizing parse/reply phases with an uncontended
+   stats mutex on the hot path.  This is the regime run-ahead coalescing
+   targets — quantum-length horizons, user-level sync between charges. *)
+let server_compute ~conns ~reqs ~coalesce =
   let p =
     {
       S.default_params with
       connections = conns;
-      requests_per_conn = 10;
-      think_time_us = 2_000;
+      requests_per_conn = reqs;
+      think_time_us = 0;
       connect_stagger_us = 200;
-      parse_compute_us = 1_600;
-      reply_compute_us = 1_200;
+      parse_compute_us = 8_000;
+      reply_compute_us = 6_000;
+      compute_steps = 32;
       disk_every = 0;
-      workers = 16;
-      concurrency = 6;
+      workers = 4;
+      concurrency = 1;
       client_concurrency = conns;
       listen_backlog = 64;
     }
   in
-  ignore (S.run (module Sunos_baselines.Mt) ~cpus p)
+  ignore (S.run (module Sunos_baselines.Mt) ~cpus:1 ~cost:(cost_of ~coalesce) p)
 
-let database ~processes ~threads ~txns () =
+(* Figure-1 literal database: records worked through the mapping, so a
+   warm transaction is pure user-level work between syscall horizons. *)
+let database_mmap ~processes ~threads ~txns ~coalesce =
+  let p =
+    {
+      Db.default_params with
+      processes;
+      threads_per_process = threads;
+      transactions_per_thread = txns;
+      records = 2048;
+      io_every = 25;
+      mmap_io = true;
+    }
+  in
+  ignore (Db.run ~cpus:2 ~cost:(cost_of ~coalesce) p)
+
+(* The original syscall-per-transaction shape, kept as a section so the
+   trajectory still tracks the read/write path. *)
+let database_syscall ~processes ~threads ~txns ~coalesce =
   let p =
     {
       Db.default_params with
@@ -134,13 +163,13 @@ let database ~processes ~threads ~txns () =
       records = 64;
     }
   in
-  ignore (Db.run ~cpus:2 p)
+  ignore (Db.run ~cpus:2 ~cost:(cost_of ~coalesce) p)
 
 (* Dispatch-bound: one CPU, many kernel LWPs ping-ponging through short
    charge/sleep cycles, so the run queue stays deep and the dispatcher
    itself dominates the wall-clock. *)
-let dispatch_storm ~lwps ~iters () =
-  let k = Kernel.boot ~cpus:1 () in
+let dispatch_storm ~lwps ~iters ~coalesce =
+  let k = Kernel.boot ~cpus:1 ~cost:(cost_of ~coalesce) () in
   Kernel.set_tracing k false;
   ignore
     (Kernel.spawn k ~name:"storm" ~main:(fun () ->
@@ -160,7 +189,7 @@ let dispatch_storm ~lwps ~iters () =
 (* Cancel-heavy churn: the net server's poll-timeout pattern.  A long
    timeout is re-armed (schedule + cancel) on every short event, so
    cancelled handles pile up in the heap unless the queue compacts. *)
-let eventq_churn n () =
+let eventq_churn n ~coalesce:_ =
   let q = Eventq.create () in
   let timeout = ref None in
   let rec tick i =
@@ -175,112 +204,243 @@ let eventq_churn n () =
 
 type section = {
   name : string;
-  before_s : float;  (* recorded pre-rewrite, full scale *)
-  smoke_baseline_s : float;  (* recorded post-rewrite, smoke scale *)
-  full : unit -> unit;
-  smoke : unit -> unit;
+  kernel : bool;  (* coalescing applies: scaling times it off then on *)
+  smoke_baseline_s : float;  (* recorded smoke wall-clock, coalesce on *)
+  smoke_baseline_mw : float;  (* recorded smoke minor words, coalesce on *)
+  full : coalesce:bool -> unit;
+  smoke : coalesce:bool -> unit;
 }
 
 let sections =
   [
     {
       name = "server-1000conn";
-      before_s = 2.295;
-      smoke_baseline_s = 0.038;
+      kernel = true;
+      smoke_baseline_s = 0.042;
+      smoke_baseline_mw = 5.6e6;
       full = server_conns ~conns:1000 ~cpus:4;
       smoke = server_conns ~conns:100 ~cpus:2;
     };
     {
       name = "server-compute";
-      before_s = 0.179;
-      smoke_baseline_s = 0.010;
-      full = server_compute ~conns:200 ~cpus:4;
-      smoke = server_compute ~conns:40 ~cpus:2;
+      kernel = true;
+      smoke_baseline_s = 0.002;
+      smoke_baseline_mw = 3.0e5;
+      full = server_compute ~conns:8 ~reqs:50;
+      smoke = server_compute ~conns:4 ~reqs:10;
     };
     {
       name = "database";
-      before_s = 0.183;
+      kernel = true;
+      smoke_baseline_s = 0.004;
+      smoke_baseline_mw = 2.0e5;
+      full = database_mmap ~processes:2 ~threads:8 ~txns:800;
+      smoke = database_mmap ~processes:2 ~threads:4 ~txns:60;
+    };
+    {
+      name = "database-syscall";
+      kernel = true;
       smoke_baseline_s = 0.002;
-      full = database ~processes:4 ~threads:16 ~txns:250;
-      smoke = database ~processes:2 ~threads:6 ~txns:15;
+      smoke_baseline_mw = 5.0e5;
+      full = database_syscall ~processes:4 ~threads:16 ~txns:250;
+      smoke = database_syscall ~processes:2 ~threads:6 ~txns:15;
     };
     {
       name = "microbench-sync";
-      before_s = 0.007;
-      smoke_baseline_s = 0.006;
-      full = (fun () -> ignore (Microbench.sync ()));
-      smoke = (fun () -> ignore (Microbench.sync ()));
+      kernel = true;
+      smoke_baseline_s = 0.003;
+      smoke_baseline_mw = 5.0e5;
+      full = (fun ~coalesce -> ignore (Microbench.sync ~cost:(cost_of ~coalesce) ()));
+      smoke = (fun ~coalesce -> ignore (Microbench.sync ~cost:(cost_of ~coalesce) ()));
     };
     {
       name = "dispatch-storm";
-      before_s = 0.737;
-      smoke_baseline_s = 0.003;
+      kernel = true;
+      smoke_baseline_s = 0.006;
+      smoke_baseline_mw = 1.0e6;
       full = dispatch_storm ~lwps:500 ~iters:200;
       smoke = dispatch_storm ~lwps:60 ~iters:20;
     };
     {
       name = "eventq-churn";
-      before_s = 0.127;
-      smoke_baseline_s = 0.001;
+      kernel = false;
+      smoke_baseline_s = 0.002;
+      smoke_baseline_mw = 1.3e6;
       full = eventq_churn 200_000;
       smoke = eventq_churn 20_000;
     };
   ]
 
-let time_one f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
+(* ------------------------------------------------------------------ *)
+(* Measurement: wall-clock plus the GC counters that explain it        *)
+(* ------------------------------------------------------------------ *)
+
+type meas = {
+  wall_s : float;
+  minor_w : float;  (* minor words allocated *)
+  promoted_w : float;
+  majors : int;  (* major collections *)
+}
+
+(* One timed run with its GC deltas; wall-clock is then refined to the
+   best of a few repeats (short sections bounce by 2-3x on a shared
+   machine), while the GC counters come from the first run — the
+   workloads are deterministic, so allocation doesn't need repeats. *)
+let measure f =
+  let once () =
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let t1 = Unix.gettimeofday () in
+    let g1 = Gc.quick_stat () in
+    {
+      wall_s = t1 -. t0;
+      minor_w = g1.Gc.minor_words -. g0.Gc.minor_words;
+      promoted_w = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      majors = g1.Gc.major_collections - g0.Gc.major_collections;
+    }
+  in
+  (* normalize heap state so a section isn't taxed for its
+     predecessor's garbage *)
+  Gc.compact ();
+  let m0 = once () in
+  let reps =
+    if m0.wall_s < 0.05 then 9
+    else if m0.wall_s < 0.5 then 3
+    else 1
+  in
+  let best = ref m0.wall_s in
+  for _ = 1 to reps do
+    let m = once () in
+    if m.wall_s < !best then best := m.wall_s
+  done;
+  { m0 with wall_s = !best }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_wallclock.json: an append-per-PR trajectory                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The file holds one run object per line under "runs", keyed by the
+   --label argument (default "dev").  Re-running under an existing label
+   replaces that run; new labels append, so the file accumulates the
+   per-PR perf trajectory.  Line-per-run keeps the append a plain text
+   edit — no JSON parser needed. *)
+
+let label = ref "dev"
+
+let read_runs path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let runs = ref [] in
+    (try
+       while true do
+         let t = String.trim (input_line ic) in
+         let t =
+           if String.length t > 0 && t.[String.length t - 1] = ',' then
+             String.sub t 0 (String.length t - 1)
+           else t
+         in
+         if String.length t > 10 && String.sub t 0 10 = "{\"label\": " then
+           runs := t :: !runs
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !runs
+  end
+
+let section_json (s, off, on) =
+  let core =
+    Printf.sprintf
+      "{\"name\": %S, \"wall_s\": %.3f, \"minor_words\": %.0f, \
+       \"promoted_words\": %.0f, \"major_collections\": %d"
+      s.name on.wall_s on.minor_w on.promoted_w on.majors
+  in
+  match off with
+  | None -> core ^ "}"
+  | Some off ->
+      Printf.sprintf
+        "%s, \"coalesce_off_s\": %.3f, \"coalesce_off_minor_words\": %.0f, \
+         \"speedup\": %.2f, \"minor_words_ratio\": %.2f}"
+        core off.wall_s off.minor_w
+        (if on.wall_s > 0. then off.wall_s /. on.wall_s else 0.)
+        (if on.minor_w > 0. then off.minor_w /. on.minor_w else 0.)
 
 let emit_json path rows =
+  let this =
+    Printf.sprintf "{\"label\": %S, \"sections\": [%s]}" !label
+      (String.concat ", " (List.map section_json rows))
+  in
+  let prefix = Printf.sprintf "{\"label\": %S," !label in
+  let keep l = not (String.length l >= String.length prefix
+                    && String.sub l 0 (String.length prefix) = prefix) in
+  let runs = List.filter keep (read_runs path) @ [ this ] in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"wallclock\",\n";
   Printf.fprintf oc
-    "  \"note\": \"before_s recorded on the pre-PR2 tree (per-dispatch \
-     queue rebuild, eager trace formatting, no event-queue compaction); \
-     after_s measured on this tree\",\n";
-  Printf.fprintf oc "  \"sections\": [\n";
+    "  \"note\": \"one run object per PR label; kernel sections timed \
+     with run-ahead charge coalescing off and on (wall_s / minor_words \
+     are the coalescing-on figures)\",\n";
+  Printf.fprintf oc "  \"runs\": [\n";
   List.iteri
-    (fun i (name, before, after) ->
-      Printf.fprintf oc
-        "    {\"name\": %S, \"before_s\": %.3f, \"after_s\": %.3f, \
-         \"speedup\": %.2f}%s\n"
-        name before after
-        (if after > 0. then before /. after else 0.)
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n" r
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
 let scaling () =
-  Printf.printf
-    "\n=== W2: wall-clock of engine-stressing workloads (full scale) ===\n\n";
-  Printf.printf "  %-18s %10s %10s %8s\n" "section" "before (s)" "after (s)"
-    "speedup";
+  Bout.printf
+    "\n=== W2: wall-clock of engine-stressing workloads (full scale, \
+     charge coalescing off vs on) ===\n\n";
+  Bout.printf "  %-18s %9s %9s %8s %11s %11s %7s\n" "section" "off (s)"
+    "on (s)" "speedup" "minor Mw" "minor Mw" "majors";
+  Bout.printf "  %-18s %9s %9s %8s %11s %11s %7s\n" "" "" "" "" "(off)"
+    "(on)" "(on)";
   let rows =
     List.map
       (fun s ->
-        let t = time_one s.full in
-        Printf.printf "  %-18s %10.3f %10.3f %7.1fx\n%!" s.name s.before_s t
-          (if t > 0. then s.before_s /. t else 0.);
-        (s.name, s.before_s, t))
+        let off =
+          if s.kernel then Some (measure (fun () -> s.full ~coalesce:false))
+          else None
+        in
+        let on = measure (fun () -> s.full ~coalesce:true) in
+        (match off with
+        | Some off ->
+            Bout.printf "  %-18s %9.3f %9.3f %7.2fx %11.1f %11.1f %7d\n"
+              s.name off.wall_s on.wall_s
+              (if on.wall_s > 0. then off.wall_s /. on.wall_s else 0.)
+              (off.minor_w /. 1e6) (on.minor_w /. 1e6) on.majors
+        | None ->
+            Bout.printf "  %-18s %9s %9.3f %8s %11s %11.1f %7d\n" s.name "-"
+              on.wall_s "-" "-" (on.minor_w /. 1e6) on.majors);
+        (s, off, on))
       sections
   in
   emit_json "BENCH_wallclock.json" rows;
-  Printf.printf "\n(wrote BENCH_wallclock.json)\n"
+  Bout.printf "\n(recorded run %S in BENCH_wallclock.json)\n" !label
 
 let smoke () =
-  Printf.printf "\n=== wallclock smoke: 5x regression gate ===\n\n";
+  Bout.printf
+    "\n=== wallclock smoke: 5x time / 3x allocation regression gate ===\n\n";
   let failures =
     List.filter_map
       (fun s ->
-        let t = time_one s.smoke in
-        (* absolute floor keeps sub-10ms sections out of timer noise *)
-        let allowed = Float.max (5. *. s.smoke_baseline_s) 0.25 in
-        Printf.printf "  %-18s %8.3fs (allowed %.3fs)%s\n%!" s.name t allowed
-          (if t > allowed then "  REGRESSED" else "");
-        if t > allowed then Some s.name else None)
+        let m = measure (fun () -> s.smoke ~coalesce:true) in
+        (* absolute floors keep sub-10ms sections and small allocation
+           deltas out of the noise *)
+        let allowed_s = Float.max (5. *. s.smoke_baseline_s) 0.25 in
+        let allowed_mw = Float.max (3. *. s.smoke_baseline_mw) 2e7 in
+        let bad_t = m.wall_s > allowed_s in
+        let bad_w = m.minor_w > allowed_mw in
+        Bout.printf
+          "  %-18s %8.3fs (allowed %.3fs)  %7.1f Mw (allowed %.1f Mw)%s%s\n"
+          s.name m.wall_s allowed_s (m.minor_w /. 1e6) (allowed_mw /. 1e6)
+          (if bad_t then "  TIME-REGRESSED" else "")
+          (if bad_w then "  ALLOC-REGRESSED" else "");
+        if bad_t || bad_w then Some s.name else None)
       sections
   in
   if failures <> [] then begin
@@ -302,7 +462,7 @@ let benchmark () =
          Benchmark.all cfg instances test))
       tests
   in
-  Printf.printf "\n=== W1: wall-clock microbenchmarks of the engine ===\n\n";
+  Bout.printf "\n=== W1: wall-clock microbenchmarks of the engine ===\n\n";
   List.iter
     (fun (name, raw) ->
       let analyzed =
@@ -314,7 +474,7 @@ let benchmark () =
         (fun _k v ->
           match Analyze.OLS.estimates v with
           | Some [ est ] ->
-              Printf.printf "  %-42s %12.0f ns/iter\n" name est
-          | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+              Bout.printf "  %-42s %12.0f ns/iter\n" name est
+          | _ -> Bout.printf "  %-42s (no estimate)\n" name)
         analyzed)
     results

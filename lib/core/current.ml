@@ -1,10 +1,17 @@
-let cur : Ttypes.tcb option ref = ref None
+(* The current-thread register, one per domain: each simulated machine
+   is single-threaded, but the bench runner's [-j N] mode runs
+   independent machines on separate domains, so the register must not
+   be shared between them. *)
+let cur_key : Ttypes.tcb option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let cur () = Domain.DLS.get cur_key
 
 let get () =
-  match !cur with
+  match !(cur ()) with
   | Some t -> t
   | None -> failwith "Sunos_threads: no current thread (Libthread.boot missing?)"
 
-let get_opt () = !cur
-let set t = cur := t
+let get_opt () = !(cur ())
+let set t = cur () := t
 let pool () = (get ()).Ttypes.pool

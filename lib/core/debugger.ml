@@ -20,10 +20,13 @@ type snapshot = {
    libthread's tables live in the inferior).  Sequential simulations
    reuse pids; boot overwrites, so the registry always reflects the
    latest process under that pid. *)
-let registry : (int, unit -> thread_view list) Hashtbl.t = Hashtbl.create 8
+let registry_key : (int, unit -> thread_view list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let registry () = Domain.DLS.get registry_key
 
 let publish pool =
-  Hashtbl.replace registry pool.pid (fun () ->
+  Hashtbl.replace (registry ()) pool.pid (fun () ->
       Hashtbl.fold
         (fun tid t acc ->
           {
@@ -57,7 +60,7 @@ let snapshot k pid =
   | None -> Error (Printf.sprintf "no such process: %d" pid)
   | Some pi ->
       let threads =
-        match Hashtbl.find_opt registry pid with
+        match Hashtbl.find_opt (registry ()) pid with
         | Some read -> read ()
         | None -> []
       in

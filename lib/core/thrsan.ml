@@ -284,8 +284,11 @@ let bare_parks () = List.rev !bare_parks_r
 
 (* The library publishes each pool here at boot (same replace-on-boot
    semantics as Debugger.publish: the latest process under a pid wins). *)
-let pools : (int, pool) Hashtbl.t = Hashtbl.create 8
-let register_pool (p : pool) = Hashtbl.replace pools p.pid p
+let pools_key : (int, pool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let pools () = Domain.DLS.get pools_key
+let register_pool (p : pool) = Hashtbl.replace (pools ()) p.pid p
 
 type hung_thread = {
   ht_pid : int;
@@ -357,7 +360,7 @@ let hang_check (k : Ktypes.kernel) =
                   :: !lwps
             | _ -> ())
           p.Ktypes.lwps;
-        match Hashtbl.find_opt pools p.Ktypes.pid with
+        match Hashtbl.find_opt (pools ()) p.Ktypes.pid with
         | None -> ()
         | Some pool ->
             Hashtbl.iter

@@ -3,11 +3,11 @@ module Cost = Sunos_hw.Cost_model
 
 type 'a key = { index : int; default : 'a; ukey : 'a Univ.key }
 
-let next_index = ref 0
+(* keys may be created from any domain under the bench runner's [-j N] *)
+let next_index = Atomic.make 0
 
 let key ~default =
-  let index = !next_index in
-  incr next_index;
+  let index = Atomic.fetch_and_add next_index 1 in
   { index; default; ukey = Univ.key () }
 
 let slot tcb index =

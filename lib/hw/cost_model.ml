@@ -48,6 +48,16 @@ type t = {
       (* probes an adaptive mutex makes while the owner runs before it
          gives up and sleeps; a count, not a time, so [scale] leaves it
          alone (ablations sweep it per the lock-algorithms literature) *)
+  coalesce : bool;
+      (* run-ahead charge coalescing: batch CPU-time accounting into a
+         per-LWP ledger, settling with one event per grant window
+         instead of one per [Uctx.charge].  Behavior-preserving (the
+         budget never crosses the event queue's next pending event);
+         the toggle exists for ablations and for A/B equivalence
+         tests, not because off is ever better *)
+  coalesce_window : Time.span;
+      (* upper bound on a single run-ahead grant, independent of the
+         quantum and the event horizon; sweepable in ablations *)
 }
 
 (* Calibration notes.  Component values are 1991-plausible path lengths at
@@ -105,6 +115,8 @@ let default =
     quantum = Time.ms 100;
     clock_tick = Time.ms 10;
     adaptive_spin_limit = 5;
+    coalesce = true;
+    coalesce_window = Time.ms 100;
   }
 
 let free =
@@ -153,6 +165,8 @@ let free =
     quantum = Time.ms 100;
     clock_tick = Time.ms 10;
     adaptive_spin_limit = 5;
+    coalesce = true;
+    coalesce_window = Time.ms 100;
   }
 
 let scale f c =
@@ -202,4 +216,6 @@ let scale f c =
     quantum = s c.quantum;
     clock_tick = s c.clock_tick;
     adaptive_spin_limit = c.adaptive_spin_limit;
+    coalesce = c.coalesce;
+    coalesce_window = s c.coalesce_window;
   }

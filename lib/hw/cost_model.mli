@@ -73,6 +73,17 @@ type t = {
       (** probes an adaptive mutex makes while the owner is on a CPU
           before it gives up and sleeps.  A count, not a duration —
           [scale] leaves it unchanged; ablations sweep it *)
+  coalesce : bool;
+      (** run-ahead charge coalescing (on by default): the kernel
+          grants each resumed fiber a time budget bounded by the event
+          queue's next pending event, and [Uctx.charge] accumulates
+          spans in a user-context ledger instead of performing an
+          effect per charge — one settle event per window.  Strictly
+          behavior-preserving (see DESIGN.md); the toggle exists for
+          the ablation and the A/B equivalence suite *)
+  coalesce_window : Sunos_sim.Time.span;
+      (** upper bound on a single run-ahead grant, independent of the
+          remaining quantum and the event horizon; [scale] scales it *)
 }
 
 val default : t

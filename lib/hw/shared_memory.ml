@@ -10,14 +10,15 @@ type t = {
   mutable map_count : int;
 }
 
-let next_id = ref 0
+(* segment ids only need uniqueness; Atomic keeps them unique across
+   the bench runner's worker domains *)
+let next_id = Atomic.make 0
 
 let create ~name ~size =
   if size <= 0 then invalid_arg "Shared_memory.create: size";
   let pages = (size + page_size - 1) / page_size in
-  incr next_id;
   {
-    id = !next_id;
+    id = 1 + Atomic.fetch_and_add next_id 1;
     name;
     size;
     cells = Hashtbl.create 16;

@@ -154,6 +154,60 @@ let quantum_for k lwp =
   | Sc_realtime _ -> Time.s 3600  (* effectively until it blocks *)
   | Sc_timeshare _ | Sc_gang _ -> (cost k).Cost.quantum
 
+(* Environment kill switch for run-ahead coalescing (diagnostics: rule
+   the optimization in or out of a misbehaving run without a rebuild). *)
+let no_coalesce_env =
+  match Stdlib.Sys.getenv_opt "SUNOS_NO_COALESCE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* Open a run-ahead window for the fiber we are about to continue: how
+   far may it charge before settling with the kernel?
+
+   The budget is min(remaining quantum, time to the event queue's next
+   pending event, coalesce_window).  The horizon cap is the exactness
+   argument: no event fires strictly before [next_time], so nothing in
+   the simulated machine can observe the fiber between the grant and its
+   settle — coalescing N charge events into one is invisible.  The
+   budget comparison in [Uctx.charge] is strict (acc < budget), so the
+   quantum can never expire inside the window and an event lying exactly
+   on the window's edge still fires before the settle event (smaller
+   seq), exactly as it fired before the final charge boundary in the
+   per-charge regime.
+
+   Eligibility is conservative: any condition the per-charge regime
+   would have re-examined at each boundary — pending deliverable
+   signals, an armed virtual/profiling timer, profil(2) ticks, a CPU
+   rlimit, a posted stop, a pending preemption, a stale CPU binding —
+   forces a zero budget, reproducing the old behavior bit-for-bit.
+   None of these can *appear* inside the window (only events create
+   them), so checking at grant time covers the whole window. *)
+let grant_budget k cpu lwp =
+  let c = cost k in
+  let budget =
+    if
+      c.Cost.coalesce
+      && (not no_coalesce_env)
+      && Time.(lwp.quantum_left > 0L)
+      && (not lwp.prof_on)
+      && lwp.vtimer_left = None
+      && lwp.ptimer_left = None
+      && lwp.proc.cpu_limit = None
+      && (not lwp.proc.stopped)
+      && (not (sig_flag lwp))
+      && (not (Cpu.need_resched cpu))
+      && (match lwp.bound_cpu with
+         | Some b -> b = Cpu.id cpu
+         | None -> true)
+    then
+      let cap = Time.min lwp.quantum_left c.Cost.coalesce_window in
+      match Eventq.next_time (eventq k) with
+      | Some t -> Time.min cap (Time.diff t (now k))
+      | None -> cap
+    else 0L
+  in
+  Uctx.grant ~budget
+
 let rec kick k =
   gang_place k;
   Array.iter
@@ -215,11 +269,13 @@ and resume k cpu lwp =
     match lwp.pending with
     | P_start f ->
         lwp.pending <- P_dead;
+        grant_budget k cpu lwp;
         step k cpu lwp (Uctx.run_fiber f)
     | P_charge (remaining, kont) ->
         if Time.(remaining > 0L) then charge_slice k cpu lwp remaining kont
         else begin
           lwp.pending <- P_dead;
+          grant_budget k cpu lwp;
           step k cpu lwp (Effect.Deep.continue kont (sig_flag lwp))
         end
     | P_sysret (kont, ret) -> deliver_sysret k cpu lwp kont ret
@@ -229,7 +285,23 @@ and resume k cpu lwp =
         kick k
   end
 
+(* Every fiber step settles the run-ahead ledger first: the coalesced
+   prefix becomes one busy event.  The prefix is strictly below the
+   granted budget, which was itself capped at the remaining quantum and
+   the event horizon — so the quantum cannot expire here, no
+   stop/preempt condition can have arisen (those need events, and none
+   fired), and the settle completion runs before any foreign event.
+   The step itself is then dispatched at the settled instant, exactly
+   when the per-charge regime would have reached it. *)
 and step k cpu lwp (s : Uctx.step) =
+  let prefix = Uctx.unsettled () in
+  if Time.(prefix > 0L) then
+    busy k cpu lwp prefix (fun () ->
+        lwp.quantum_left <- Time.diff lwp.quantum_left prefix;
+        dispatch_step k cpu lwp s)
+  else dispatch_step k cpu lwp s
+
+and dispatch_step k cpu lwp (s : Uctx.step) =
   match s with
   | Uctx.Step_done -> lwp_exit_internal k lwp
   | Uctx.Step_raised (Uctx.Process_killed, _) ->
@@ -318,6 +390,7 @@ and charge_slice k cpu lwp span kont =
           if Time.(remaining > 0L) then charge_slice k cpu lwp remaining kont
           else begin
             lwp.pending <- P_dead;
+            grant_budget k cpu lwp;
             step k cpu lwp (Effect.Deep.continue kont (sig_flag lwp))
           end
         end)
@@ -326,6 +399,7 @@ and deliver_sysret k cpu lwp kont ret =
   busy k cpu lwp (cost k).Cost.trap_exit (fun () ->
       lwp.in_kernel <- false;
       lwp.pending <- P_dead;
+      grant_budget k cpu lwp;
       step k cpu lwp (Effect.Deep.continue kont ret))
 
 (* CPU-time accounting: drives virtual/profiling interval timers, the

@@ -32,6 +32,22 @@ val run_fiber : (unit -> unit) -> step
 exception Process_killed
 (** Used by the kernel to discontinue fibers of a dying process. *)
 
+(** {1 Run-ahead accounting (kernel-internal)} *)
+
+val grant : budget:Sunos_sim.Time.span -> unit
+(** Open a run-ahead window: subsequent {!charge}s accumulate in a
+    domain-local ledger instead of performing effects, until the
+    running total would reach [budget] (that charge performs).  A zero
+    or negative budget closes any open window — every charge then
+    performs directly.  Called by the kernel just before continuing a
+    fiber; the budget never exceeds the time to the event queue's next
+    pending event, which is what makes coalescing unobservable. *)
+
+val unsettled : unit -> Sunos_sim.Time.span
+(** Collect and reset the coalesced-but-unaccounted charge total, and
+    close the window.  Called by the kernel at every fiber step (charge
+    perform, syscall, completion) before acting on it. *)
+
 (** {1 Core} *)
 
 val charge : Sunos_sim.Time.span -> unit

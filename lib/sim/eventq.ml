@@ -16,7 +16,13 @@ and t = {
   mutable fired_count : int;
   mutable drain_hooks : (unit -> unit) list;
       (* fired by [run] when the queue empties; diagnostic observers
-         (e.g. the thread sanitizer's hang check), registration order *)
+         (e.g. the thread sanitizer's hang check).  Kept in REVERSE
+         registration order — consing is O(1) per registration — and
+         reversed once at fire time *)
+  mutable run_horizon : Time.t option;
+      (* the [until] of the [run] currently draining this queue, if
+         any: [next_time] clamps to it so run-ahead accounting never
+         outruns a horizon-limited run *)
 }
 
 let cmp a b =
@@ -32,9 +38,10 @@ let create () =
     cancelled_in_heap = 0;
     fired_count = 0;
     drain_hooks = [];
+    run_horizon = None;
   }
 
-let on_drain q f = q.drain_hooks <- q.drain_hooks @ [ f ]
+let on_drain q f = q.drain_hooks <- f :: q.drain_hooks
 
 let now q = q.now
 
@@ -109,7 +116,22 @@ let rec peek_live q =
       end
       else Some h
 
+(* Earliest instant at which anything can happen: the first live event,
+   clamped to the horizon of the [run] currently draining us.  [None]
+   means nothing is pending and no horizon binds — the caller may run
+   ahead arbitrarily far. *)
+let next_time q =
+  let ev = match peek_live q with Some h -> Some h.time | None -> None in
+  match (ev, q.run_horizon) with
+  | None, h -> h
+  | t, None -> t
+  | Some t, Some h -> Some (Time.min t h)
+
 let run ?until ?max_events q =
+  let saved_horizon = q.run_horizon in
+  (match until with Some h -> q.run_horizon <- Some h | None -> ());
+  Fun.protect ~finally:(fun () -> q.run_horizon <- saved_horizon)
+  @@ fun () ->
   let fired = ref 0 in
   let continue () =
     match max_events with None -> true | Some m -> !fired < m
@@ -137,7 +159,7 @@ let run ?until ?max_events q =
      at the stalled machine.  A hook may schedule new events; we do not
      re-enter the loop for them — this is a post-mortem, not a phase. *)
   if q.drain_hooks <> [] && peek_live q = None then
-    List.iter (fun f -> f ()) q.drain_hooks
+    List.iter (fun f -> f ()) (List.rev q.drain_hooks)
 
 (* [live] is exact: cancels decrement it immediately. *)
 let pending_count q = q.live

@@ -41,6 +41,15 @@ val on_drain : t -> (unit -> unit) -> unit
     machine here.  Hooks run in registration order; events a hook
     schedules are left queued, not run. *)
 
+val next_time : t -> Time.t option
+(** Earliest instant at which anything can happen: the time of the first
+    live event, clamped to the [until] horizon of the {!run} currently
+    draining this queue (if any).  [None] when nothing is pending and no
+    horizon binds.  Used by run-ahead accounting to bound how far a
+    fiber may execute without settling: no event can fire strictly
+    before this instant, so no simulated observer exists inside the
+    window. *)
+
 val pending_count : t -> int
 (** Number of live (non-cancelled, unfired) events still queued.  Exact:
     cancellation is accounted immediately even though the heap deletes

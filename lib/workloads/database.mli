@@ -18,6 +18,15 @@ type params = {
       (** start with no record pages in the page cache (first touches go
           to disk); [false] pre-warms so only [io_every] evictions cost
           disk time *)
+  mmap_io : bool;
+      (** [false] (default): each transaction reads and writes its
+          record with lseek/read/write system calls and is timed with
+          gettime — the original, syscall-per-transaction shape.
+          [true]: the Figure-1 literal shape — threads work on records
+          {e through the mapping}, so a warm uncontended transaction is
+          pure user-level work (lock, copy charges, compute, unlock);
+          every [io_every]-th transaction evicts and faults its page
+          back in and carries the (syscall-timed) latency sample. *)
   seed : int64;
 }
 

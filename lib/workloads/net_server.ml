@@ -17,6 +17,7 @@ type params = {
   reply_compute_us : int;
   think_time_us : int;
   connect_stagger_us : int;
+  compute_steps : int;
   disk_every : int;
   workers : int;
   concurrency : int;
@@ -35,6 +36,7 @@ let default_params =
     reply_compute_us = 100;
     think_time_us = 2_000;
     connect_stagger_us = 0;
+    compute_steps = 1;
     disk_every = 4;
     workers = 8;
     concurrency = 4;
@@ -79,6 +81,30 @@ let server (module M : Sunos_baselines.Model.S) k p
     | None -> assert false
   in
   let mu = M.Mu.create () in
+  (* Compute granularity: [compute_steps] = 1 charges each compute
+     phase as one span (the original behavior).  > 1 models a
+     tokenizing parser: per-chunk charges interleaved with a shared
+     request-stats counter bumped under a process mutex — the paper's
+     cheap uncontended user-level sync in its natural habitat.  The
+     mutex only exists (and the total span is only split) when
+     requested, so default runs are charge-for-charge identical. *)
+  let stats_mu = if p.compute_steps > 1 then Some (M.Mu.create ()) else None in
+  let stats_ops = ref 0 in
+  let compute_phase us =
+    match stats_mu with
+    | None -> Uctx.charge_us us
+    | Some smu ->
+        let steps = p.compute_steps in
+        let chunk = us / steps in
+        for i = 1 to steps do
+          M.Mu.lock smu;
+          incr stats_ops;
+          M.Mu.unlock smu;
+          Uctx.charge_us
+            (if i = steps then us - (chunk * (steps - 1)) else chunk)
+        done
+  in
+  ignore (stats_ops : int ref);
   let qsem = M.Sem.create 0 in
   let asem = M.Sem.create 0 in
   let workq : int Queue.t = Queue.create () in
@@ -147,7 +173,7 @@ let server (module M : Sunos_baselines.Model.S) k p
            let got = String.length first in
            if got < p.request_bytes then
              ignore (Uctx.read_exact fd ~len:(p.request_bytes - got));
-           Uctx.charge_us p.parse_compute_us;
+           compute_phase p.parse_compute_us;
            incr nreq;
            let off = !nreq * 512 mod 65536 in
            if p.disk_every > 0 && !nreq mod p.disk_every = 0 then
@@ -156,7 +182,7 @@ let server (module M : Sunos_baselines.Model.S) k p
                ~page:(Shm.page_of_offset ~offset:off);
            Uctx.lseek data_fd off;
            ignore (Uctx.read data_fd ~len:512);
-           Uctx.charge_us p.reply_compute_us;
+           compute_phase p.reply_compute_us;
            Uctx.write_all fd (pad "done" p.reply_bytes);
            signal_change (fun () -> Hashtbl.replace polled fd ())
          end);

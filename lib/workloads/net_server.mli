@@ -26,6 +26,12 @@ type params = {
   think_time_us : int;  (** mean client think time between requests *)
   connect_stagger_us : int;
       (** arrival ramp: client [i] delays its connect by [i * this] *)
+  compute_steps : int;
+      (** compute-phase granularity: 1 charges parse/reply each as one
+          span; > 1 models a tokenizing parser — the span is split into
+          that many charges, each preceded by a shared stats-counter
+          bump under an uncontended process mutex (cheap user-level
+          sync on the hot path).  Total charged time is unchanged. *)
   disk_every : int;  (** every n-th request needs a cold file read *)
   workers : int;  (** server worker-pool size *)
   concurrency : int;  (** server LWP-pool hint *)

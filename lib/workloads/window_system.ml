@@ -44,9 +44,10 @@ let frame w stamp =
    semaphore pair and a mailbox of pending event timestamps.  The X
    server side listens on a socket; a client process connects and
    writes the event stream with Poisson spacing. *)
-let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
+let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost
+    ?(trace = false) ?debrief p =
   let k = Kernel.boot ~cpus ?cost () in
-  Kernel.set_tracing k false;
+  if not trace then Kernel.set_tracing k false;
   let latency = Hist.create "event latency" in
   let handled = ref 0 in
   let threads_created = ref 0 in
@@ -148,6 +149,7 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost p =
   ignore (Kernel.spawn k ~name:"windows" ~main:(M.boot ?cost app));
   ignore (Kernel.spawn k ~name:"xclient" ~main:(M.boot ?cost injector));
   Kernel.run k;
+  (match debrief with Some f -> f k | None -> ());
   {
     handled = !handled;
     latency;

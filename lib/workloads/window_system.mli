@@ -35,8 +35,11 @@ val run :
   (module Sunos_baselines.Model.S) ->
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
+  ?trace:bool ->
+  ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
   params ->
   results
-(** Boots a fresh machine, runs the workload to completion. *)
+(** Boots a fresh machine, runs the workload to completion.  [trace]
+    and [debrief] as in {!Net_server.run}. *)
 
 val pp_results : Format.formatter -> results -> unit
