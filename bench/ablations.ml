@@ -392,6 +392,76 @@ let coalesce ?(smoke = false) () =
   end
 
 
+(* A10: fault-rate sweep.  The network-heavy chaos profile scaled from
+   0x to 2x on the hardened server: the degradation curve should be
+   graceful (served decays, shed/aborted absorb the rest) and the
+   request-conservation invariant must hold at every point — no request
+   may simply vanish, whatever the weather. *)
+let chaos ?(smoke = false) () =
+  section "A10: fault-rate sweep (hardened server, network-heavy chaos)";
+  let module Faultgen = Sunos_sim.Faultgen in
+  let base = Faultgen.network_heavy in
+  let scale f =
+    {
+      base with
+      Faultgen.label = Printf.sprintf "net-heavy-x%g" f;
+      eintr_sleep = base.Faultgen.eintr_sleep *. f;
+      eagain_sock = base.Faultgen.eagain_sock *. f;
+      enomem_lwp = base.Faultgen.enomem_lwp *. f;
+      conn_refuse = base.Faultgen.conn_refuse *. f;
+      backlog_drop = base.Faultgen.backlog_drop *. f;
+      conn_rst = base.Faultgen.conn_rst *. f;
+      peer_stall = base.Faultgen.peer_stall *. f;
+      preempt_storm = base.Faultgen.preempt_storm *. f;
+      lwp_reap = base.Faultgen.lwp_reap *. f;
+      fault_spike = base.Faultgen.fault_spike *. f;
+      timer_jitter = base.Faultgen.timer_jitter *. f;
+    }
+  in
+  let p =
+    {
+      S.default_params with
+      connections = (if smoke then 10 else 40);
+      requests_per_conn = 3;
+      think_time_us = 1_000;
+      workers = 4;
+      concurrency = 4;
+      client_concurrency = 10;
+      listen_backlog = 16;
+      hardened = true;
+      connect_retry_limit = 12;
+      retry_base_us = 300;
+      request_deadline_us = 1_000_000;
+      shed_queue_limit = 16;
+    }
+  in
+  let total = p.S.connections * p.S.requests_per_conn in
+  Bout.printf "  %-16s %7s %6s %8s %7s %8s %12s\n" "fault rate" "served"
+    "shed" "aborted" "gaveup" "faults" "p99 (ms)";
+  let violated = ref false in
+  List.iter
+    (fun f ->
+      let faults = ref 0 in
+      let r =
+        S.run
+          (module Sunos_baselines.Mt)
+          ~cpus:2 ~chaos:(scale f)
+          ~debrief:(fun k -> faults := Kernel.chaos_total k)
+          p
+      in
+      let conserved = r.S.served + r.S.shed + r.S.aborted = total in
+      if not conserved then violated := true;
+      Bout.printf "  %-16s %7d %6d %8d %7d %8d %12.2f%s\n"
+        (Printf.sprintf "%gx" f) r.S.served r.S.shed r.S.aborted r.S.gaveup
+        !faults (p99_ms r.S.latency)
+        (if conserved then "" else "   <- REQUESTS LOST"))
+    (if smoke then [ 0.; 1. ] else [ 0.; 0.25; 0.5; 1.; 1.5; 2. ]);
+  if !violated then begin
+    Printf.eprintf
+      "ablation-chaos: request conservation violated under fault injection\n";
+    exit 1
+  end
+
 let all () =
   models ();
   sigwaiting ();
@@ -401,4 +471,5 @@ let all () =
   microtask ();
   broadcast ();
   sched ();
-  coalesce ()
+  coalesce ();
+  chaos ()

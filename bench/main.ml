@@ -35,6 +35,12 @@ let targets : (string * string * (unit -> unit)) list =
     ( "ablation-coalesce-smoke",
       "fast coalescing sweep: checks simulated results are window-invariant",
       fun () -> Ablations.coalesce ~smoke:true () );
+    ( "ablation-chaos",
+      "fault-rate sweep: hardened server degradation under chaos",
+      fun () -> Ablations.chaos () );
+    ( "ablation-chaos-smoke",
+      "fast chaos sweep: checks request conservation under fault injection",
+      fun () -> Ablations.chaos ~smoke:true () );
     ("wallclock", "Bechamel microbenchmarks of the engine", Wallclock.benchmark);
     ( "wallclock-scaling",
       "wall-clock of engine-stressing workloads; appends to BENCH_wallclock.json",

@@ -16,6 +16,7 @@ module W = Sunos_workloads.Window_system
 module S = Sunos_workloads.Net_server
 module D = Sunos_workloads.Database
 module A = Sunos_workloads.Array_compute
+module Chaos_report = Sunos_workloads.Chaos_report
 
 (* ------------------------- common options ------------------------- *)
 
@@ -55,7 +56,9 @@ let windows model cpus widgets events interarrival seed =
       seed = Int64.of_int seed;
     }
   in
-  let r = W.run (module M) ~cpus p in
+  let r =
+    W.run (module M) ~cpus ~debrief:Chaos_report.debrief_if_enabled p
+  in
   Format.printf "windows/%s: %a@." M.name W.pp_results r
 
 let windows_cmd =
@@ -78,7 +81,7 @@ let windows_cmd =
 (* ------------------------- server ------------------------- *)
 
 let server model cpus connections requests_per_conn think disk_every workers
-    seed =
+    hardened seed =
   let (module M) = resolve_model model in
   let p =
     {
@@ -88,10 +91,17 @@ let server model cpus connections requests_per_conn think disk_every workers
       think_time_us = think;
       disk_every;
       workers;
+      hardened;
+      (* hardened defaults sized for the demo scale: a 250ms reply
+         deadline and shedding once the queue is two bursts deep *)
+      request_deadline_us = (if hardened then 250_000 else 0);
+      shed_queue_limit = (if hardened then 2 * workers else 0);
       seed = Int64.of_int seed;
     }
   in
-  let r = S.run (module M) ~cpus p in
+  let r =
+    S.run (module M) ~cpus ~debrief:Chaos_report.debrief_if_enabled p
+  in
   Format.printf "server/%s: %a@." M.name S.pp_results r
 
 let server_cmd =
@@ -115,12 +125,19 @@ let server_cmd =
     Arg.(value & opt int 8
          & info [ "workers" ] ~doc:"Server worker-pool size.")
   in
+  let hardened =
+    Arg.(value & flag
+         & info [ "hardened" ]
+             ~doc:
+               "Bounded retry, reply deadlines and load shedding — for \
+                runs under SUNOS_CHAOS fault injection.")
+  in
   Cmd.v
     (Cmd.info "server"
        ~doc:"The event-driven network-server workload (paper intro).")
     Term.(
       const server $ model_arg $ cpus_arg 1 $ connections $ requests $ think
-      $ disk $ workers $ seed_arg)
+      $ disk $ workers $ hardened $ seed_arg)
 
 (* ------------------------- database ------------------------- *)
 
@@ -135,7 +152,7 @@ let database cpus processes threads records txns seed =
       seed = Int64.of_int seed;
     }
   in
-  let r = D.run ~cpus p in
+  let r = D.run ~cpus ~debrief:Chaos_report.debrief_if_enabled p in
   Format.printf "database: %a@." D.pp_results r
 
 let database_cmd =

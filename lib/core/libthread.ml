@@ -33,11 +33,14 @@ let boot ?(cost = Sunos_hw.Cost_model.default) ?(concurrency = 0)
                  without the idle check, activations-style per-block
                  upcalls would grow the pool without bound *)
               if live_runnable pool then
-                if pool.idle_lwps = [] then begin
+                if pool.idle_lwps = [] || not (Pool.kick_idle_lwp pool)
+                then begin
+                  (* no idle LWP — or every "idle" entry was an LWP the
+                     kernel reaped (chaos): kick repaired the accounting
+                     and found nobody to wake, so real growth is due *)
                   pool.ctr_lwp_grown <- pool.ctr_lwp_grown + 1;
                   Pool.grow_pool pool
-                end
-                else Pool.kick_idle_lwp pool)));
+                end)));
   let main_tcb =
     Pool.new_tcb pool
       ~entry:(fun () ->

@@ -17,6 +17,7 @@
 
 open Ttypes
 module Uctx = Sunos_kernel.Uctx
+module Errno = Sunos_kernel.Errno
 module Cost = Sunos_hw.Cost_model
 
 (* the "registered on no wait queue" sentinel for [cancel_wait]: a
@@ -85,13 +86,33 @@ let runq_pop pool =
 
 let suspend ~park = Effect.perform (Suspend park)
 
-(* Pop an idle pool LWP and unpark it so it notices new work. *)
-let kick_idle_lwp pool =
+(* Pop an idle pool LWP and unpark it so it notices new work.  Returns
+   whether a live LWP was actually kicked: under fault injection an LWP
+   can be reaped by the kernel while it sits on the idle list, in which
+   case its unpark raises ESRCH — repair the pool accounting and try the
+   next candidate.  Callers that must guarantee capacity (the SIGWAITING
+   handler) grow the pool when this returns [false]. *)
+let rec kick_idle_lwp pool =
   match pool.idle_lwps with
-  | [] -> ()
-  | lid :: rest ->
+  | [] -> false
+  | lid :: rest -> (
       pool.idle_lwps <- rest;
-      Uctx.lwp_unpark lid
+      try
+        Uctx.lwp_unpark lid;
+        true
+      with Errno.Unix_error (Errno.ESRCH, _) ->
+        pool.n_pool_lwps <- pool.n_pool_lwps - 1;
+        kick_idle_lwp pool)
+
+(* Forward declaration: respawning the dedicated LWP of a bound thread
+   whose LWP was reaped while parked.  Set to the real implementation
+   once [bound_main] exists (the let-rec chain cannot reach it here). *)
+let bound_rescue : (pool -> tcb -> unit) ref =
+  ref (fun _ _ -> failwith "bound_rescue: not initialised")
+
+let unpark_bound pool tcb =
+  try Uctx.lwp_unpark tcb.bound_lwp
+  with Errno.Unix_error (Errno.ESRCH, _) -> !bound_rescue pool tcb
 
 let make_ready tcb reason =
   let pool = tcb.pool in
@@ -113,12 +134,12 @@ let make_ready tcb reason =
          means library bookkeeping plus a kernel round trip (the paper's
          bound-thread synchronization premium) *)
       charge pool.cost.Cost.sync_slow_extra;
-      Uctx.lwp_unpark tcb.bound_lwp
+      unpark_bound pool tcb
     end
     else begin
       runq_push pool tcb;
       charge pool.cost.Cost.runq_op;
-      kick_idle_lwp pool
+      ignore (kick_idle_lwp pool)
     end
   end
 
@@ -302,10 +323,36 @@ let bound_main pool tcb () =
   loop ()
 
 (* Add an LWP to the pool (thread_setconcurrency, THREAD_NEW_LWP, or
-   SIGWAITING growth). *)
+   SIGWAITING growth).
+
+   LWP creation can fail with a transient ENOMEM under fault injection.
+   Growth must eventually happen: by the time the SIGWAITING handler
+   calls us the edge trigger has been consumed, so giving up would
+   leave the process one all-blocked transition away from a silent
+   deadlock.  Retry with capped exponential backoff — the backoff
+   sleeps complete with ordinary wakeups, which re-arm the SIGWAITING
+   edge, so the process stays recoverable while we wait out the
+   pressure. *)
+let lwp_create_retry entry =
+  let rec attempt backoff =
+    match Uctx.lwp_create ~entry () with
+    | _lid -> ()
+    | exception Errno.Unix_error (Errno.ENOMEM, _) ->
+        Uctx.sleep backoff;
+        attempt (Time.min (Time.ms 10) (Int64.mul backoff 2L))
+  in
+  attempt (Time.us 100)
+
 let grow_pool pool =
-  pool.n_pool_lwps <- pool.n_pool_lwps + 1;
-  ignore (Uctx.lwp_create ~entry:(lwp_main pool) ())
+  lwp_create_retry (lwp_main pool);
+  pool.n_pool_lwps <- pool.n_pool_lwps + 1
+
+let spawn_bound pool tcb = lwp_create_retry (bound_main pool tcb)
+
+(* The forward declaration above can now point at the real thing: a
+   bound thread whose LWP was reaped gets a fresh dedicated LWP, which
+   re-reads [tcb.tstate] and runs it. *)
+let () = bound_rescue := spawn_bound
 
 (* ------------------------------------------------------------------ *)
 (* Thread construction                                                 *)

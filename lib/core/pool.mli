@@ -36,8 +36,15 @@ val make_ready : tcb -> wake_reason -> unit
     requeues it (unbound; kicks an idle LWP) or unparks its dedicated LWP
     (bound).  A pending stop request diverts it to [Tstopped]. *)
 
-val kick_idle_lwp : pool -> unit
-(** Unpark one parked pool LWP, if any. *)
+val unpark_bound : pool -> tcb -> unit
+(** Unpark a bound thread's dedicated LWP; if the LWP was reaped by
+    fault injection while parked (ESRCH), respawn it via
+    {!spawn_bound}. *)
+
+val kick_idle_lwp : pool -> bool
+(** Unpark one parked pool LWP, if any; [false] when no live idle LWP
+    exists (the list was empty, or every candidate had been reaped by
+    fault injection — dead entries repair [n_pool_lwps] on the way). *)
 
 (** {1 Signals} *)
 
@@ -59,7 +66,14 @@ val bound_main : pool -> tcb -> unit -> unit
 
 val grow_pool : pool -> unit
 (** Add one pool LWP ([thread_setconcurrency] / THREAD_NEW_LWP /
-    SIGWAITING growth). *)
+    SIGWAITING growth).  Retries with capped exponential backoff on a
+    (fault-injected) transient ENOMEM: growth is a liveness obligation
+    once the SIGWAITING edge has been consumed. *)
+
+val spawn_bound : pool -> tcb -> unit
+(** Create the dedicated LWP of a bound thread (same ENOMEM retry
+    policy as {!grow_pool}).  Also the rescue path when a bound
+    thread's LWP is reaped while parked. *)
 
 (** {1 Thread construction} *)
 

@@ -29,7 +29,7 @@ let create ?(flags = []) ?(stack = `Default) entry =
   if bound then begin
     pool.ctr_creates_bound <- pool.ctr_creates_bound + 1;
     (* the LWP is created with the thread and dedicated to it *)
-    ignore (Uctx.lwp_create ~entry:(Pool.bound_main pool tcb) ())
+    Pool.spawn_bound pool tcb
   end
   else begin
     pool.ctr_creates_unbound <- pool.ctr_creates_unbound + 1;
@@ -37,7 +37,7 @@ let create ?(flags = []) ?(stack = `Default) entry =
     if not stopped then begin
       Pool.runq_push pool tcb;
       Uctx.charge pool.cost.Cost.runq_op;
-      Pool.kick_idle_lwp pool
+      ignore (Pool.kick_idle_lwp pool)
     end
   end;
   tcb.tid
@@ -169,12 +169,12 @@ let continue tid =
       match target.tstate with
       | Tstopped ->
           target.tstate <- Trunnable;
-          if target.bound then Uctx.lwp_unpark target.bound_lwp
+          if target.bound then Pool.unpark_bound pool target
           else begin
             (* preserve the wake_reason recorded when it was stopped *)
             Pool.runq_push pool target;
             Uctx.charge pool.cost.Cost.runq_op;
-            Pool.kick_idle_lwp pool
+            ignore (Pool.kick_idle_lwp pool)
           end
       | Trunnable | Trunning | Tblocked | Tzombie -> ())
 
@@ -206,7 +206,7 @@ let setconcurrency n =
   else if n < pool.n_pool_lwps then begin
     pool.shrink_lwps <- pool.shrink_lwps + (pool.n_pool_lwps - n);
     (* poke idle LWPs so they notice and retire *)
-    Pool.kick_idle_lwp pool
+    ignore (Pool.kick_idle_lwp pool)
   end
 
 let yield () =

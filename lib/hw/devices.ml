@@ -81,6 +81,12 @@ module Net = struct
 
   let in_flight t = t.in_flight
   let completed t = t.completed
+  let now t = Eventq.now t.eventq
+
+  (* Bare rescheduling, for deliveries deferred by a fault (a stalled
+     peer): counted in_flight like any transfer so the queue stays live
+     while the delivery is pending. *)
+  let delay t span on_complete = fire t span on_complete
 end
 
 module Tty = struct

@@ -46,6 +46,12 @@ module Net : sig
 
   val in_flight : t -> int
   val completed : t -> int
+
+  val now : t -> Sunos_sim.Time.t
+
+  val delay : t -> Sunos_sim.Time.span -> (unit -> unit) -> unit
+  (** Re-schedule a deferred delivery after [span]; counted in flight
+      like a transfer.  Used for fault-injected peer stalls. *)
 end
 
 module Tty : sig

@@ -9,11 +9,17 @@ type t = {
   cost : Cost_model.t;
   trace : Sim.Tracebuf.t;
   rng : Sim.Rng.t;
+  chaos : Sim.Faultgen.t;
 }
 
 let create ?(cpus = 1) ?(cost = Cost_model.default) ?(seed = 1L)
-    ?trace_capacity () =
+    ?trace_capacity ?chaos () =
   if cpus <= 0 then invalid_arg "Machine.create: cpus";
+  let chaos =
+    match chaos with
+    | Some p -> Sim.Faultgen.create ~seed p
+    | None -> Sim.Faultgen.of_env ~seed ()
+  in
   let eventq = Sim.Eventq.create () in
   {
     eventq;
@@ -24,6 +30,7 @@ let create ?(cpus = 1) ?(cost = Cost_model.default) ?(seed = 1L)
     cost;
     trace = Sim.Tracebuf.create ?capacity:trace_capacity ();
     rng = Sim.Rng.create ~seed;
+    chaos;
   }
 
 let now t = Sim.Eventq.now t.eventq

@@ -10,6 +10,7 @@ type t = {
   cost : Cost_model.t;
   trace : Sunos_sim.Tracebuf.t;
   rng : Sunos_sim.Rng.t;
+  chaos : Sunos_sim.Faultgen.t;
 }
 
 val create :
@@ -17,10 +18,13 @@ val create :
   ?cost:Cost_model.t ->
   ?seed:int64 ->
   ?trace_capacity:int ->
+  ?chaos:Sunos_sim.Faultgen.profile ->
   unit ->
   t
 (** Defaults: 1 CPU (the paper's measurement platform was a uniprocessor),
-    {!Cost_model.default}, seed 1. *)
+    {!Cost_model.default}, seed 1, chaos profile from [SUNOS_CHAOS]
+    (off when unset).  The chaos stream is seeded independently of the
+    machine's workload stream. *)
 
 val now : t -> Sunos_sim.Time.t
 val ncpus : t -> int

@@ -9,8 +9,8 @@ let boot_on machine =
   Syscall_impl.install k;
   k
 
-let boot ?cpus ?cost ?seed ?trace_capacity () =
-  boot_on (Machine.create ?cpus ?cost ?seed ?trace_capacity ())
+let boot ?cpus ?cost ?seed ?trace_capacity ?chaos () =
+  boot_on (Machine.create ?cpus ?cost ?seed ?trace_capacity ?chaos ())
 
 let machine (k : t) = k.Ktypes.machine
 let fs (k : t) = k.Ktypes.fs
@@ -47,3 +47,8 @@ let dispatch_count (k : t) = Counter.value k.Ktypes.ctr_dispatches
 let preemption_count (k : t) = Counter.value k.Ktypes.ctr_preemptions
 let sigwaiting_count (k : t) = Counter.value k.Ktypes.ctr_sigwaiting
 let lwp_create_count (k : t) = Counter.value k.Ktypes.ctr_lwp_creates
+
+let chaos k = (machine k).Machine.chaos
+let chaos_label k = Sunos_sim.Faultgen.label (chaos k)
+let chaos_counts k = Sunos_sim.Faultgen.counts (chaos k)
+let chaos_total k = Sunos_sim.Faultgen.total (chaos k)

@@ -16,9 +16,11 @@ val boot :
   ?cost:Sunos_hw.Cost_model.t ->
   ?seed:int64 ->
   ?trace_capacity:int ->
+  ?chaos:Sunos_sim.Faultgen.profile ->
   unit ->
   t
-(** Build a machine and boot a kernel on it. *)
+(** Build a machine and boot a kernel on it.  [chaos] selects the fault
+    injection profile (default: [SUNOS_CHAOS] env, else off). *)
 
 val boot_on : Sunos_hw.Machine.t -> t
 (** Boot on an existing machine. *)
@@ -59,3 +61,14 @@ val dispatch_count : t -> int
 val preemption_count : t -> int
 val sigwaiting_count : t -> int
 val lwp_create_count : t -> int
+
+(** {1 Chaos introspection} *)
+
+val chaos : t -> Sunos_sim.Faultgen.t
+val chaos_label : t -> string
+
+val chaos_counts : t -> (string * int) list
+(** Injected-fault counts per site, sorted by site name — the basis for
+    the chaos goldens and the workloads' chaos debrief. *)
+
+val chaos_total : t -> int

@@ -26,6 +26,24 @@ let eventq k = k.machine.Machine.eventq
 let schedule k span f = ignore (Eventq.after (eventq k) span f)
 let trace k tag fmt = Machine.trace k.machine ~tag fmt
 
+(* ------------------------------------------------------------------ *)
+(* Chaos (deterministic fault injection)                               *)
+(* ------------------------------------------------------------------ *)
+
+module Faultgen = Sunos_sim.Faultgen
+
+let chaos k = k.machine.Machine.chaos
+
+(* Roll a fault at an existing decision point.  Every hit is traced
+   under the "chaos" tag so an injected fault is always observable in
+   the record; with chaos off this never draws from the stream. *)
+let chaos_roll k ~site rate =
+  if Faultgen.fire (chaos k) ~now:(now k) ~site rate then begin
+    trace k "chaos" "%s" site;
+    true
+  end
+  else false
+
 let create ~machine =
   {
     machine;
@@ -225,6 +243,19 @@ and place k cpu lwp =
   Cpu.set_need_resched cpu false;
   lwp.lstate <- Lrunning (Cpu.id cpu);
   lwp.quantum_left <- quantum_for k lwp;
+  (* Chaos: a preemption storm dispatches with a sliver of a quantum, so
+     the LWP is preempted almost immediately.  Shrinking quantum_left is
+     all it takes — run-ahead coalescing caps its budget by quantum_left,
+     so the storm composes with coalescing for free. *)
+  (match lwp.cls with
+  | Sc_timeshare _ | Sc_gang _ ->
+      if chaos_roll k ~site:"preempt-storm" (Faultgen.profile (chaos k)).preempt_storm
+      then
+        lwp.quantum_left <-
+          Time.max (Time.us 20)
+            (Faultgen.draw_span (chaos k)
+               ~max_span:(Int64.div lwp.quantum_left 8L))
+  | Sc_realtime _ -> ());
   Counter.incr k.ctr_dispatches;
   trace k "dispatch" "cpu%d <- pid%d/lwp%d" (Cpu.id cpu) lwp.proc.pid lwp.lid;
   (* Going through the dispatcher costs a kernel context switch. *)
@@ -614,7 +645,7 @@ and set_sleep_timeout k lwp span ret =
       in
       sl.sl_timeout <- Some h
 
-and wake k lwp ret =
+and wake ?(sig_eintr = false) k lwp ret =
   match lwp.sleep with
   | None -> ()
   | Some sl ->
@@ -627,11 +658,14 @@ and wake k lwp ret =
       | P_syswait kont -> lwp.pending <- P_sysret (kont, ret)
       | _ -> assert false);
       (* a real wakeup re-arms the SIGWAITING edge trigger; the EINTR
-         that SIGWAITING delivery itself causes must not, or a process
-         whose handler cannot make progress would be stormed *)
-      (match ret with
-      | Sysdefs.R_err Errno.EINTR -> ()
-      | _ -> lwp.proc.sigwaiting_armed <- true);
+         that signal delivery itself causes must not, or a process whose
+         SIGWAITING handler cannot make progress would be stormed.  Only
+         the signal path ([interrupt_sleep]) is exempt: an EINTR that
+         arrives by timeout (chaos-injected) is an ordinary wakeup, and
+         skipping the re-arm for it could miss the next all-blocked edge
+         entirely (the woken LWP re-blocks, nobody re-arms, no
+         SIGWAITING, deadlock). *)
+      if not sig_eintr then lwp.proc.sigwaiting_armed <- true;
       (* Wakeup boost keeps interactive timeshare LWPs responsive. *)
       (match lwp.cls with
       | Sc_timeshare ts -> ts.ts_pri <- min 59 (ts.ts_pri + 12)
@@ -642,7 +676,7 @@ and interrupt_sleep k lwp =
   match lwp.sleep with
   | Some sl when sl.sl_interruptible ->
       sl.sl_cancel ();
-      wake k lwp (Sysdefs.R_err Errno.EINTR)
+      wake ~sig_eintr:true k lwp (Sysdefs.R_err Errno.EINTR)
   | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -712,6 +746,7 @@ and make_proc k ~name ~parent =
       dead_stime = 0L;
       minflt = 0;
       majflt = 0;
+      shed_count = 0;
       stopped = false;
       exit_status = 0;
       upcall_on_block = false;

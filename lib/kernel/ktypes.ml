@@ -93,6 +93,9 @@ and proc = {
   mutable dead_stime : Time.span;
   mutable minflt : int;
   mutable majflt : int;
+  mutable shed_count : int;
+      (* connections this process refused under overload (load shedding);
+         surfaced via /proc so operators can see graceful degradation *)
   mutable stopped : bool;
   mutable exit_status : int;
   mutable upcall_on_block : bool;

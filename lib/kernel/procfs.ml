@@ -25,6 +25,7 @@ type proc_info = {
   pi_stime : Sunos_sim.Time.span;
   pi_minflt : int;
   pi_majflt : int;
+  pi_shed : int;
   pi_nfds : int;
   pi_nsocks : int;
   pi_nlisten : int;
@@ -83,6 +84,7 @@ let proc_info p =
     pi_stime = stime;
     pi_minflt = p.minflt;
     pi_majflt = p.majflt;
+    pi_shed = p.shed_count;
     pi_nfds = Hashtbl.length p.fdtab;
     pi_nsocks =
       Hashtbl.fold
@@ -105,10 +107,13 @@ let proc k pid =
 
 let pp_proc ppf pi =
   Format.fprintf ppf
-    "pid %d (%s) %s nlwps=%d utime=%a stime=%a flt=%d/%d socks=%d/%d@."
+    "pid %d (%s) %s nlwps=%d utime=%a stime=%a flt=%d/%d socks=%d/%d%s@."
     pi.pi_pid pi.pi_name pi.pi_state pi.pi_nlwps Sunos_sim.Time.pp pi.pi_utime
     Sunos_sim.Time.pp pi.pi_stime pi.pi_minflt pi.pi_majflt pi.pi_nsocks
-    pi.pi_nlisten;
+    pi.pi_nlisten
+    (* shed connections only appear under load shedding; keep the
+       happy-path line format unchanged *)
+    (if pi.pi_shed > 0 then Printf.sprintf " shed=%d" pi.pi_shed else "");
   List.iter
     (fun li ->
       Format.fprintf ppf "  lwp %d %-16s %-6s prio=%-3d %s%s@." li.li_lwpid

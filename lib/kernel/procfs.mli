@@ -31,6 +31,7 @@ type proc_info = {
   pi_stime : Sunos_sim.Time.span;
   pi_minflt : int;
   pi_majflt : int;
+  pi_shed : int;  (** connections refused under overload (load shedding) *)
   pi_nfds : int;
   pi_nsocks : int;  (** open connected socket fds *)
   pi_nlisten : int;  (** open listening socket fds *)

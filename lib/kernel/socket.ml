@@ -17,6 +17,7 @@
    a whole run is a pure function of the workload's seeds. *)
 
 module Net = Sunos_hw.Devices.Net
+module Time = Sunos_sim.Time
 
 type dir = {
   capacity : int;
@@ -24,6 +25,7 @@ type dir = {
   mutable in_flight : int;  (* accepted from the sender, still on the wire *)
   mutable wclosed : bool;  (* sender closed: EOF once [buf] drains *)
   mutable rclosed : bool;  (* receiver closed: further writes are resets *)
+  mutable stall_until : Time.t;  (* fault injection: peer not draining *)
   mutable read_waiters : (unit -> unit) list;
   mutable write_waiters : (unit -> unit) list;
 }
@@ -62,6 +64,7 @@ let mk_dir capacity =
     in_flight = 0;
     wclosed = false;
     rclosed = false;
+    stall_until = Time.zero;
     read_waiters = [];
     write_waiters = [];
   }
@@ -118,17 +121,51 @@ let read ep ~len =
     else `Empty
 
 (* Delivery completion for one chunk: runs off the event queue a
-   transfer time + half an RTT after the write was accepted. *)
-let deliver conn d chunk =
-  d.in_flight <- d.in_flight - String.length chunk;
-  if not (d.rclosed || conn.reset) then begin
-    Buffer.add_string d.buf chunk;
-    fire_read_waiters d
+   transfer time + half an RTT after the write was accepted.
+
+   A stalled direction (fault injection: the peer stopped draining)
+   defers the completion to [stall_until].  Order is preserved: every
+   deferred chunk lands at the same instant and the event queue breaks
+   timestamp ties in insertion order, while chunks whose natural arrival
+   is later than the stall deadline were sent later and stay later.  The
+   chunk stays in_flight across the deferral, so the sender's window
+   remains closed — a stall is backpressure, not loss. *)
+let rec deliver conn d chunk =
+  let nnow = Net.now conn.net in
+  if (not (d.rclosed || conn.reset)) && Time.(nnow < d.stall_until) then
+    Net.delay conn.net (Time.diff d.stall_until nnow) (fun () ->
+        deliver conn d chunk)
+  else begin
+    d.in_flight <- d.in_flight - String.length chunk;
+    if not (d.rclosed || conn.reset) then begin
+      Buffer.add_string d.buf chunk;
+      fire_read_waiters d
+    end
+    else if d.in_flight = 0 && d.wclosed then
+      (* last straggler of an already-closed stream: readers blocked for
+         the ordered EOF can now see it *)
+      fire_read_waiters d
   end
-  else if d.in_flight = 0 && d.wclosed then
-    (* last straggler of an already-closed stream: readers blocked for
-       the ordered EOF can now see it *)
-    fire_read_waiters d
+
+let stall ep ~until =
+  let d = outgoing ep in
+  d.stall_until <- Time.max d.stall_until until
+
+(* Abortive teardown from the outside (fault injection: a mid-stream
+   RST).  Both streams die instantly; every waiter is fired so blocked
+   readers, writers and pollers re-examine the endpoint and observe the
+   reset. *)
+let abort ep =
+  let c = ep.conn in
+  if not c.reset then begin
+    c.reset <- true;
+    Buffer.clear c.c2s.buf;
+    Buffer.clear c.s2c.buf;
+    fire_read_waiters c.c2s;
+    fire_write_waiters c.c2s;
+    fire_read_waiters c.s2c;
+    fire_write_waiters c.s2c
+  end
 
 let write ep data =
   if ep.conn.reset || (outgoing ep).rclosed then `Reset

@@ -63,6 +63,18 @@ val pending_count : listener -> int
 val read : endpoint -> len:int -> [ `Data of string | `Eof | `Empty | `Reset ]
 val write : endpoint -> string -> [ `Accepted of int | `Full | `Reset ]
 val close : endpoint -> unit
+
+val abort : endpoint -> unit
+(** Abortive teardown (fault injection: mid-stream RST).  Both streams
+    die instantly and every registered waiter fires, so blocked readers,
+    writers and pollers observe the reset. *)
+
+val stall : endpoint -> until:Sunos_sim.Time.t -> unit
+(** Fault injection: the peer of [endpoint] stops draining — deliveries
+    on the endpoint's outgoing direction are deferred to [until] (byte
+    order preserved, window stays closed: a stall is backpressure, not
+    loss). *)
+
 val readable : endpoint -> bool
 val writable : endpoint -> bool
 val peer_closed : endpoint -> bool

@@ -18,6 +18,10 @@ module Tty = Sunos_hw.Devices.Tty
 let copy_cost (c : Cost.t) bytes_ =
   Int64.mul c.Cost.copy_per_kb (Int64.of_int ((bytes_ + 1023) / 1024))
 
+(* Chaos profile of the machine, for fault-rate lookups at the injection
+   sites below.  [K.chaos_roll] never draws when chaos is off. *)
+let chp k = K.Faultgen.profile (K.chaos k)
+
 let lookup_fd proc fd = Hashtbl.find_opt proc.fdtab fd
 
 let install_fd proc fdobj =
@@ -87,8 +91,13 @@ let file_read k lwp file ~pos ~set_pos ~len =
       lwp.proc.majflt <- lwp.proc.majflt + List.length missing;
       K.block k lwp ~wchan:"disk" ~interruptible:false ~indefinite:false
         ~cancel:(fun () -> ());
+      let spike =
+        if K.chaos_roll k ~site:"fault-spike" (chp k).fault_spike then
+          max 1 (chp k).spike_factor
+        else 1
+      in
       Disk.submit k.machine.Machine.disk
-        ~bytes_:(List.length missing * 4096)
+        ~bytes_:(List.length missing * 4096 * spike)
         ~on_complete:(fun () ->
           let seg = Fs.segment file in
           List.iter (fun p -> Shm.make_resident seg ~page:p) missing;
@@ -350,7 +359,19 @@ let execute k lwp req =
          remark). *)
       K.block k lwp ~wchan:"nanosleep" ~interruptible:true ~indefinite:true
         ~cancel:(fun () -> ());
-      K.set_sleep_timeout k lwp span R_ok
+      if K.chaos_roll k ~site:"eintr-sleep" (chp k).eintr_sleep then
+        (* Early EINTR, at least half the requested span in: the
+           user-side retry loop re-sleeps the remainder, which at least
+           halves every round, so the retry chain is O(log span) and
+           always reaches the deadline — no Zeno schedules. *)
+        let half = Int64.div span 2L in
+        let frac =
+          Time.min span
+            (Int64.add half
+               (K.Faultgen.draw_span (K.chaos k) ~max_span:(Time.max 1L half)))
+        in
+        K.set_sleep_timeout k lwp frac (R_err Errno.EINTR)
+      else K.set_sleep_timeout k lwp span R_ok
   | Sys_exit status -> K.proc_exit k proc ~status
   | Sys_fork { child_main; all_lwps } -> do_fork k lwp ~child_main ~all_lwps
   | Sys_exec { name; main } -> do_exec k lwp ~name ~main
@@ -449,6 +470,34 @@ let execute k lwp req =
                       | None -> alive := false)
               in
               wait_input ()))
+  | Sys_read_nb (fd, len) -> (
+      (* Non-blocking socket read with distinguishable outcomes: data,
+         EOF (empty R_bytes), EAGAIN (not ready) and ECONNRESET are four
+         different answers — callers must not have to guess which of
+         "no data yet" and "no data ever" an empty result means. *)
+      match lookup_fd proc fd with
+      | None -> K.complete k lwp (R_err Errno.EBADF)
+      | Some (Fd_sock ep) ->
+          if K.chaos_roll k ~site:"eagain-sock" (chp k).eagain_sock then
+            (* spurious not-ready; the data stays buffered for the next
+               attempt *)
+            K.complete k lwp (R_err Errno.EAGAIN)
+          else (
+            match Socket.read ep ~len with
+            | `Data s ->
+                K.complete k lwp
+                  ~op_cost:
+                    (Int64.add c.Cost.sock_op (copy_cost c (String.length s)))
+                  (R_bytes s)
+            | `Eof -> K.complete k lwp ~op_cost:c.Cost.sock_op (R_bytes "")
+            | `Reset -> K.complete k lwp (R_err Errno.ECONNRESET)
+            | `Empty -> K.complete k lwp (R_err Errno.EAGAIN))
+      | Some _ -> K.complete k lwp (R_err Errno.EINVAL))
+  | Sys_note_shed ->
+      proc.shed_count <- proc.shed_count + 1;
+      K.trace k "shed" "pid%d sheds a connection (total %d)" proc.pid
+        proc.shed_count;
+      K.complete k lwp R_ok
   | Sys_write (fd, data) -> (
       match lookup_fd proc fd with
       | None -> K.complete k lwp (R_err Errno.EBADF)
@@ -479,19 +528,33 @@ let execute k lwp req =
           K.complete k lwp
             ~op_cost:(Int64.add c.Cost.pipe_op (copy_cost c (String.length data)))
             (R_int (String.length data))
-      | Some (Fd_sock ep) -> (
-          match Socket.write ep data with
-          | `Accepted n ->
-              K.complete k lwp
-                ~op_cost:(Int64.add c.Cost.sock_op (copy_cost c n))
-                (R_int n)
-          | `Reset -> K.complete k lwp (R_err Errno.ECONNRESET)
-          | `Full ->
-              let alive = ref true in
-              K.block k lwp ~wchan:"sock_write" ~interruptible:true
-                ~indefinite:true
-                ~cancel:(fun () -> alive := false);
-              sock_write_blocking k lwp ep data ~alive)
+      | Some (Fd_sock ep) ->
+          if K.chaos_roll k ~site:"conn-rst" (chp k).conn_rst then begin
+            (* mid-stream RST: the connection dies under the writer *)
+            Socket.abort ep;
+            K.complete k lwp (R_err Errno.ECONNRESET)
+          end
+          else begin
+            if K.chaos_roll k ~site:"peer-stall" (chp k).peer_stall then begin
+              let us =
+                K.Faultgen.draw_us (K.chaos k) ~lo:1
+                  ~hi:(max 1 (chp k).stall_us)
+              in
+              Socket.stall ep ~until:(Time.add (K.now k) (Time.us us))
+            end;
+            match Socket.write ep data with
+            | `Accepted n ->
+                K.complete k lwp
+                  ~op_cost:(Int64.add c.Cost.sock_op (copy_cost c n))
+                  (R_int n)
+            | `Reset -> K.complete k lwp (R_err Errno.ECONNRESET)
+            | `Full ->
+                let alive = ref true in
+                K.block k lwp ~wchan:"sock_write" ~interruptible:true
+                  ~indefinite:true
+                  ~cancel:(fun () -> alive := false);
+                sock_write_blocking k lwp ep data ~alive
+          end
       | Some (Fd_sock_listen _) -> K.complete k lwp (R_err Errno.ENOTCONN)
       | Some Fd_tty ->
           K.complete k lwp
@@ -558,7 +621,12 @@ let execute k lwp req =
           K.block k lwp ~wchan:"pagefault" ~interruptible:false
             ~indefinite:false
             ~cancel:(fun () -> ());
-          Disk.submit k.machine.Machine.disk ~bytes_:4096
+          let spike =
+            if K.chaos_roll k ~site:"fault-spike" (chp k).fault_spike then
+              max 1 (chp k).spike_factor
+            else 1
+          in
+          Disk.submit k.machine.Machine.disk ~bytes_:(4096 * spike)
             ~on_complete:(fun () ->
               Shm.make_resident seg ~page;
               K.wake k lwp R_ok)
@@ -601,6 +669,16 @@ let execute k lwp req =
                     K.trace k "connect" "pid%d -> %s refused" proc.pid name;
                     K.wake k lwp (R_err Errno.ECONNREFUSED)
                   in
+                  if K.chaos_roll k ~site:"conn-refuse" (chp k).conn_refuse
+                  then refused ()
+                  else if
+                    (* modelled as a SYN-queue overflow drop: the
+                       admission never happens, the client sees a
+                       refusal — distinguishable from conn-refuse only
+                       by its fault counter *)
+                    K.chaos_roll k ~site:"backlog-drop" (chp k).backlog_drop
+                  then refused ()
+                  else
                   match Socket.lookup k.sockets name with
                   | None -> refused ()
                   | Some l -> (
@@ -613,20 +691,32 @@ let execute k lwp req =
                           K.wake k lwp (R_int fd)))))
   | Sys_accept (fd, nonblock) -> (
       match lookup_fd proc fd with
-      | Some (Fd_sock_listen l) -> (
-          match Socket.accept l with
-          | Some ep ->
-              let nfd = install_fd proc (Fd_sock ep) in
-              K.trace k "accept" "pid%d accepts on %s -> fd%d" proc.pid
-                (Socket.listener_name l) nfd;
-              K.complete k lwp ~op_cost:c.Cost.sock_accept (R_int nfd)
-          | None when nonblock -> K.complete k lwp (R_err Errno.EAGAIN)
-          | None ->
-              let alive = ref true in
-              K.block k lwp ~wchan:"accept" ~interruptible:true
-                ~indefinite:true
-                ~cancel:(fun () -> alive := false);
-              sock_accept_blocking k lwp l ~alive)
+      | Some (Fd_sock_listen l) ->
+          if nonblock && K.chaos_roll k ~site:"eagain-sock" (chp k).eagain_sock
+          then
+            (* spurious not-ready: the connection (if any) stays pending,
+               so the caller's next poll round collects it *)
+            K.complete k lwp (R_err Errno.EAGAIN)
+          else (
+            match Socket.accept l with
+            | Some ep ->
+                let nfd = install_fd proc (Fd_sock ep) in
+                K.trace k "accept" "pid%d accepts on %s -> fd%d" proc.pid
+                  (Socket.listener_name l) nfd;
+                K.complete k lwp ~op_cost:c.Cost.sock_accept (R_int nfd)
+            | None when Socket.listener_closed l ->
+                (* a closed listener can never produce a connection:
+                   EAGAIN here would send a non-blocking acceptor into a
+                   poll/EAGAIN spin forever (another LWP may close the
+                   listening fd while we race toward it) *)
+                K.complete k lwp (R_err Errno.ECONNABORTED)
+            | None when nonblock -> K.complete k lwp (R_err Errno.EAGAIN)
+            | None ->
+                let alive = ref true in
+                K.block k lwp ~wchan:"accept" ~interruptible:true
+                  ~indefinite:true
+                  ~cancel:(fun () -> alive := false);
+                sock_accept_blocking k lwp l ~alive)
       | Some _ -> K.complete k lwp (R_err Errno.EINVAL)
       | None -> K.complete k lwp (R_err Errno.EBADF))
   | Sys_poll (fds, timeout) -> (
@@ -689,14 +779,19 @@ let execute k lwp req =
           Sig.default_action k proc signo;
           K.complete k lwp R_ok (* no-op if the action killed us *))
   | Sys_lwp_create { entry; cls } ->
-      let cls =
-        match cls with
-        | None | Some Cls_timeshare -> Sc_timeshare { ts_pri = 29 }
-        | Some (Cls_realtime p) -> Sc_realtime p
-        | Some (Cls_gang g) -> Sc_gang g
-      in
-      let nlwp = K.spawn_lwp k proc ~entry ~cls in
-      K.complete k lwp ~op_cost:c.Cost.lwp_create (R_int nlwp.lid)
+      if K.chaos_roll k ~site:"enomem-lwp" (chp k).enomem_lwp then
+        (* transient kernel memory pressure: the caller is expected to
+           back off and retry (see Pool.grow_pool) *)
+        K.complete k lwp (R_err Errno.ENOMEM)
+      else
+        let cls =
+          match cls with
+          | None | Some Cls_timeshare -> Sc_timeshare { ts_pri = 29 }
+          | Some (Cls_realtime p) -> Sc_realtime p
+          | Some (Cls_gang g) -> Sc_gang g
+        in
+        let nlwp = K.spawn_lwp k proc ~entry ~cls in
+        K.complete k lwp ~op_cost:c.Cost.lwp_create (R_int nlwp.lid)
   | Sys_lwp_exit ->
       (* charge the destruction before the LWP disappears *)
       let cpu = K.cpu_of k lwp in
@@ -718,6 +813,21 @@ let execute k lwp req =
             if lwp.park_token then begin
               lwp.park_token <- false;
               K.complete k lwp R_ok
+            end
+            else if
+              (* chaos: asynchronous LWP death, injected at the moment
+                 the LWP would go idle — the paper's SIGWAITING story is
+                 that the pool recovers by growing a replacement.  Only
+                 with a sibling alive (killing the last LWP kills the
+                 process: that is Sys_exit, not a recoverable fault),
+                 and only after the token re-check so no wakeup is
+                 owed to the dying LWP. *)
+              List.length (live_lwps proc) > 1
+              && K.chaos_roll k ~site:"lwp-reap" (chp k).lwp_reap
+            then begin
+              lwp.parked <- false;
+              K.trace k "chaos" "lwp-reap kills pid%d/lwp%d" proc.pid lwp.lid;
+              K.lwp_exit_internal k lwp
             end
             else begin
               lwp.parked <- true;
@@ -794,6 +904,18 @@ let execute k lwp req =
           proc.rtimer <- None;
           (match span with
           | Some t ->
+              (* chaos: clock jitter delivers the tick late (never
+                 early — a timer that fires before its deadline would
+                 violate itimer semantics, not just degrade them) *)
+              let t =
+                if K.chaos_roll k ~site:"timer-jitter" (chp k).timer_jitter
+                then
+                  Time.add t
+                    (Time.us
+                       (K.Faultgen.draw_us (K.chaos k) ~lo:1
+                          ~hi:(max 1 (chp k).jitter_us)))
+                else t
+              in
               let h =
                 Sunos_sim.Eventq.after k.machine.Machine.eventq t (fun () ->
                     proc.rtimer <- None;

@@ -31,6 +31,7 @@ type sysreq =
   | Sys_open_net of Netchan.t
   | Sys_close of fd
   | Sys_read of fd * int
+  | Sys_read_nb of fd * int  (* non-blocking socket read *)
   | Sys_write of fd * string
   | Sys_lseek of fd * int
   | Sys_unlink of string
@@ -42,6 +43,7 @@ type sysreq =
   | Sys_listen of { name : string; backlog : int }
   | Sys_connect of string
   | Sys_accept of fd * bool (* nonblock *)
+  | Sys_note_shed  (* account one load-shed connection in /proc *)
   | Sys_poll of poll_fd list * Sunos_sim.Time.span option
   | Sys_kill of int * Signo.t
   | Sys_lwp_kill of int * Signo.t
@@ -99,6 +101,7 @@ let sysreq_name = function
   | Sys_open_net _ -> "open_net"
   | Sys_close _ -> "close"
   | Sys_read _ -> "read"
+  | Sys_read_nb _ -> "read_nb"
   | Sys_write _ -> "write"
   | Sys_lseek _ -> "lseek"
   | Sys_unlink _ -> "unlink"
@@ -110,6 +113,7 @@ let sysreq_name = function
   | Sys_listen _ -> "listen"
   | Sys_connect _ -> "connect"
   | Sys_accept _ -> "accept"
+  | Sys_note_shed -> "note_shed"
   | Sys_poll _ -> "poll"
   | Sys_kill _ -> "kill"
   | Sys_lwp_kill _ -> "lwp_kill"

@@ -49,6 +49,7 @@ type sysreq =
   | Sys_open_net of Netchan.t
   | Sys_close of fd
   | Sys_read of fd * int
+  | Sys_read_nb of fd * int  (* non-blocking socket read *)
   | Sys_write of fd * string
   | Sys_lseek of fd * int
   | Sys_unlink of string
@@ -70,6 +71,7 @@ type sysreq =
           backlog) is decided when the SYN arrives.  Returns the
           connected fd or [ECONNREFUSED]. *)
   | Sys_accept of fd * bool
+  | Sys_note_shed
       (** Take the next established connection off a listening fd's
           backlog.  With the flag false, blocks (interruptibly) while
           the backlog is empty; closing the listening fd fails blocked

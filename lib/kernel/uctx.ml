@@ -242,11 +242,26 @@ let rec accept fd =
       accept fd
   | r -> fail "accept" r
 
+(* Non-blocking results are a closed variant, not an option: "not ready
+   now", "closed for good" and "torn down" demand different reactions
+   (retry later / stop / error path), and an option collapses them. *)
 let accept_nb fd =
   match syscall (Sys_accept (fd, true)) with
-  | R_int nfd -> Some nfd
-  | R_err Errno.EAGAIN -> None
+  | R_int nfd -> `Conn nfd
+  | R_err Errno.EAGAIN -> `Again
+  | R_err Errno.ECONNABORTED -> `Aborted
   | r -> fail "accept_nb" r
+
+let try_read fd ~len =
+  match syscall (Sys_read_nb (fd, len)) with
+  | R_bytes "" -> `Eof
+  | R_bytes s -> `Data s
+  | R_err Errno.EAGAIN -> `Again
+  | R_err Errno.ECONNRESET -> `Reset
+  | r -> fail "try_read" r
+
+let note_shed () =
+  match syscall Sys_note_shed with R_ok -> () | r -> fail "note_shed" r
 
 (* Stream helpers: a bounded-buffer write can accept a prefix and a read
    can return one, so framed protocols loop. *)

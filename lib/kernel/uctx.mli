@@ -106,11 +106,24 @@ val accept : Sysdefs.fd -> Sysdefs.fd
     backlog is empty.  Raises [Unix_error (ECONNABORTED, _)] if the
     listening fd is closed underneath the wait. *)
 
-val accept_nb : Sysdefs.fd -> Sysdefs.fd option
-(** Non-blocking {!accept}: [None] while the backlog is empty.  An
-    event-driven server calls this in a loop after {!poll} reports the
-    listening fd readable, draining every pending connection behind a
-    single readiness event instead of paying a poll round trip each. *)
+val accept_nb : Sysdefs.fd -> [ `Conn of Sysdefs.fd | `Again | `Aborted ]
+(** Non-blocking {!accept}: [`Again] while the backlog is empty,
+    [`Aborted] once the listener is closed (so a drain loop terminates
+    instead of spinning on a fd that can never produce a connection).
+    An event-driven server calls this in a loop after {!poll} reports
+    the listening fd readable, draining every pending connection behind
+    a single readiness event instead of paying a poll round trip each. *)
+
+val try_read :
+  Sysdefs.fd -> len:int -> [ `Data of string | `Eof | `Again | `Reset ]
+(** Non-blocking socket read with distinguishable outcomes: data, clean
+    EOF, not-ready and connection-reset are four different answers (an
+    option type would conflate the last three).  Only valid on stream
+    socket fds. *)
+
+val note_shed : unit -> unit
+(** Account one load-shed connection against the calling process; the
+    count is visible in /proc ({!Procfs.proc_info}). *)
 
 val write_all : Sysdefs.fd -> string -> unit
 (** Loop {!write} until every byte is accepted (blocking on

@@ -65,8 +65,8 @@ let make_spin_barrier n =
       Uctx.charge_us 5
     done
 
-let run ?(cpus = 4) ?cost ?(background_load = false) p =
-  let k = Kernel.boot ~cpus ?cost () in
+let run ?(cpus = 4) ?cost ?chaos ?(background_load = false) p =
+  let k = Kernel.boot ~cpus ?cost ?chaos () in
   Kernel.set_tracing k false;
   let makespan = ref Time.zero and switches = ref 0 in
   let app () =

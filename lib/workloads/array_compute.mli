@@ -37,10 +37,11 @@ type results = {
 val run :
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
+  ?chaos:Sunos_sim.Faultgen.profile ->
   ?background_load:bool ->
   params ->
   results
-(** [background_load] adds a competing CPU-bound process (for the gang
-    ablation). *)
+(** [chaos] as in {!Net_server.run}.  [background_load] adds a
+    competing CPU-bound process (for the gang ablation). *)
 
 val pp_results : Format.formatter -> results -> unit

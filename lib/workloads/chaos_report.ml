@@ -1,0 +1,26 @@
+module Kernel = Sunos_kernel.Kernel
+module Procfs = Sunos_kernel.Procfs
+module Faultgen = Sunos_sim.Faultgen
+
+let pp ppf k =
+  let label = Kernel.chaos_label k in
+  let total = Kernel.chaos_total k in
+  if total = 0 then Format.fprintf ppf "chaos[%s]: no faults injected" label
+  else begin
+    Format.fprintf ppf "chaos[%s]: %d faults" label total;
+    List.iter
+      (fun (site, n) -> Format.fprintf ppf " %s=%d" site n)
+      (Kernel.chaos_counts k);
+    (* the /proc view of load shedding: per-process shed counters *)
+    List.iter
+      (fun pi ->
+        if pi.Procfs.pi_shed > 0 then
+          Format.fprintf ppf " shed(%s)=%d" pi.Procfs.pi_name
+            pi.Procfs.pi_shed)
+      (Procfs.snapshot k)
+  end
+
+let print k = Format.printf "%a@." pp k
+
+let debrief_if_enabled k =
+  if Faultgen.enabled (Kernel.chaos k) then print k

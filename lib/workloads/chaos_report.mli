@@ -1,0 +1,12 @@
+(** Chaos debrief: a one-line summary of what the fault injector did to
+    a run — profile label, per-site injected-fault counts, and the
+    /proc-visible load-shedding counters.  Workload drivers pass
+    {!print} (or compose {!pp}) as their [debrief] so chaos runs end
+    with an account of the weather they survived. *)
+
+val pp : Format.formatter -> Sunos_kernel.Kernel.t -> unit
+val print : Sunos_kernel.Kernel.t -> unit
+
+val debrief_if_enabled : Sunos_kernel.Kernel.t -> unit
+(** [print], but only when fault injection is active — safe to wire
+    unconditionally into CLI drivers without polluting clean runs. *)

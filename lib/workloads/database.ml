@@ -50,8 +50,8 @@ let db_path = "/db/records"
    file — Figure 1 of the paper, literally. *)
 let lock_offset r = r * record_size
 
-let run ?(cpus = 2) ?cost ?(trace = false) ?debrief p =
-  let k = Kernel.boot ~cpus ?cost () in
+let run ?(cpus = 2) ?cost ?chaos ?(trace = false) ?debrief p =
+  let k = Kernel.boot ~cpus ?cost ?chaos () in
   if not trace then Kernel.set_tracing k false;
   (* create and populate the database file *)
   (match Fs.create_file (Kernel.fs k) ~path:db_path () with

@@ -43,10 +43,15 @@ type results = {
 val run :
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
+  ?chaos:Sunos_sim.Faultgen.profile ->
   ?trace:bool ->
   ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
   params ->
   results
-(** [trace] and [debrief] as in {!Net_server.run}. *)
+(** [chaos], [trace] and [debrief] as in {!Net_server.run}.  The
+    workload is chaos-hardened from below: every blocking {!Uctx}
+    wrapper it relies on (read, write, kwait, park) retries injected
+    EINTR, and the threads library replaces LWPs the injector kills and
+    retries transient ENOMEM on LWP creation with capped backoff. *)
 
 val pp_results : Format.formatter -> results -> unit

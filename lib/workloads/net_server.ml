@@ -23,6 +23,11 @@ type params = {
   concurrency : int;
   client_concurrency : int;
   listen_backlog : int;
+  hardened : bool;
+  connect_retry_limit : int;
+  retry_base_us : int;
+  request_deadline_us : int;
+  shed_queue_limit : int;
   seed : int64;
 }
 
@@ -42,11 +47,19 @@ let default_params =
     concurrency = 4;
     client_concurrency = 0;
     listen_backlog = 16;
+    hardened = false;
+    connect_retry_limit = 10;
+    retry_base_us = 500;
+    request_deadline_us = 0;
+    shed_queue_limit = 0;
     seed = 31L;
   }
 
 type results = {
   served : int;
+  shed : int;
+  aborted : int;
+  gaveup : int;
   refused : int;
   max_concurrent : int;
   latency : Hist.t;
@@ -62,6 +75,14 @@ let service_name = "svc"
 let pad msg len =
   if String.length msg >= len then String.sub msg 0 len
   else msg ^ String.make (len - String.length msg) '.'
+
+let is_busy reply = String.length reply >= 4 && String.sub reply 0 4 = "busy"
+
+(* A work item handed from the poller to the worker pool.  [Shed] is the
+   hardened server's overload answer: the request frame is drained and a
+   cheap "busy" reply sent with no parse/disk/reply work — rejection must
+   cost less than service or shedding cannot shed load. *)
+type job = Stop | Work of int | Shed of int
 
 (* The server process: an acceptor thread feeds connections into a
    polled set; a poller thread multiplexes the idle connections (plus a
@@ -107,7 +128,7 @@ let server (module M : Sunos_baselines.Model.S) k p
   ignore (stats_ops : int ref);
   let qsem = M.Sem.create 0 in
   let asem = M.Sem.create 0 in
-  let workq : int Queue.t = Queue.create () in
+  let workq : job Queue.t = Queue.create () in
   let polled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let active = ref 0 and closed = ref 0 in
   let accepting = ref true in
@@ -136,7 +157,7 @@ let server (module M : Sunos_baselines.Model.S) k p
       let rec drain () =
         if !taken < p.connections then
           match Uctx.accept_nb lfd with
-          | Some fd ->
+          | `Conn fd ->
               incr taken;
               let last = !taken = p.connections in
               signal_change (fun () ->
@@ -145,7 +166,11 @@ let server (module M : Sunos_baselines.Model.S) k p
                   note_conn !active;
                   Hashtbl.replace polled fd ());
               drain ()
-          | None -> ()
+          | `Again -> ()
+          | `Aborted ->
+              (* listener torn down under us: no more connections will
+                 ever arrive, stop asking *)
+              taken := p.connections
       in
       drain ();
       signal_change (fun () -> accept_inflight := false)
@@ -154,40 +179,70 @@ let server (module M : Sunos_baselines.Model.S) k p
   in
   let nreq = ref 0 in
   let worker () =
+    (* a connection that died under us (client gone, mid-stream reset)
+       is retired exactly like an orderly close: the other connections'
+       service must not depend on this one's fate *)
+    let retire fd =
+      Uctx.close fd;
+      signal_change (fun () ->
+          decr active;
+          incr closed)
+    in
+    let read_frame fd =
+      let first = Uctx.read fd ~len:p.request_bytes in
+      if first = "" then None
+      else begin
+        (* delivery may have split the frame: finish it *)
+        let got = String.length first in
+        if got < p.request_bytes then
+          ignore (Uctx.read_exact fd ~len:(p.request_bytes - got));
+        Some ()
+      end
+    in
+    let serve fd =
+      match read_frame fd with
+      | None -> retire fd (* client closed: retire the connection *)
+      | Some () ->
+          compute_phase p.parse_compute_us;
+          incr nreq;
+          let off = !nreq * 512 mod 65536 in
+          if p.disk_every > 0 && !nreq mod p.disk_every = 0 then
+            (* cold read: evict the page so the disk path is real *)
+            Shm.evict (Fs.segment file)
+              ~page:(Shm.page_of_offset ~offset:off);
+          Uctx.lseek data_fd off;
+          ignore (Uctx.read data_fd ~len:512);
+          compute_phase p.reply_compute_us;
+          Uctx.write_all fd (pad "done" p.reply_bytes);
+          signal_change (fun () -> Hashtbl.replace polled fd ())
+    in
+    let shed fd =
+      match read_frame fd with
+      | None -> retire fd
+      | Some () ->
+          (* overload: drain the frame, record the shed where /proc can
+             see it, answer "busy" — no parse, no disk, no reply work *)
+          Uctx.note_shed ();
+          Uctx.write_all fd (pad "busy" p.reply_bytes);
+          signal_change (fun () -> Hashtbl.replace polled fd ())
+    in
     let rec loop () =
       M.Sem.p qsem;
       M.Mu.lock mu;
-      let fd = Queue.pop workq in
+      let job = Queue.pop workq in
       M.Mu.unlock mu;
-      if fd >= 0 then begin
-        (let first = Uctx.read fd ~len:p.request_bytes in
-         if first = "" then begin
-           (* client closed: retire the connection *)
-           Uctx.close fd;
-           signal_change (fun () ->
-               decr active;
-               incr closed)
-         end
-         else begin
-           (* delivery may have split the frame: finish it *)
-           let got = String.length first in
-           if got < p.request_bytes then
-             ignore (Uctx.read_exact fd ~len:(p.request_bytes - got));
-           compute_phase p.parse_compute_us;
-           incr nreq;
-           let off = !nreq * 512 mod 65536 in
-           if p.disk_every > 0 && !nreq mod p.disk_every = 0 then
-             (* cold read: evict the page so the disk path is real *)
-             Shm.evict (Fs.segment file)
-               ~page:(Shm.page_of_offset ~offset:off);
-           Uctx.lseek data_fd off;
-           ignore (Uctx.read data_fd ~len:512);
-           compute_phase p.reply_compute_us;
-           Uctx.write_all fd (pad "done" p.reply_bytes);
-           signal_change (fun () -> Hashtbl.replace polled fd ())
-         end);
-        loop ()
-      end
+      match job with
+      | Stop -> ()
+      | Work fd ->
+          (try serve fd
+           with Errno.Unix_error ((Errno.ECONNRESET | Errno.EPIPE), _) ->
+             retire fd);
+          loop ()
+      | Shed fd ->
+          (try shed fd
+           with Errno.Unix_error ((Errno.ECONNRESET | Errno.EPIPE), _) ->
+             retire fd);
+          loop ()
     in
     loop ()
   in
@@ -228,7 +283,15 @@ let server (module M : Sunos_baselines.Model.S) k p
         List.iter
           (fun fd ->
             Hashtbl.remove polled fd;
-            Queue.add fd workq)
+            (* load shedding decides at dispatch time: a queue already
+               [shed_queue_limit] deep means the workers are behind by a
+               full burst — adding real work would only grow the backlog
+               the clients are already timing out on *)
+            if
+              p.hardened && p.shed_queue_limit > 0
+              && Queue.length workq >= p.shed_queue_limit
+            then Queue.add (Shed fd) workq
+            else Queue.add (Work fd) workq)
           dispatched;
         M.Mu.unlock mu;
         if do_accept then M.Sem.v asem;
@@ -243,7 +306,7 @@ let server (module M : Sunos_baselines.Model.S) k p
     loop ();
     M.Mu.lock mu;
     for _ = 1 to p.workers do
-      Queue.add (-1) workq
+      Queue.add Stop workq
     done;
     M.Mu.unlock mu;
     for _ = 1 to p.workers do
@@ -258,13 +321,48 @@ let server (module M : Sunos_baselines.Model.S) k p
   in
   List.iter M.join threads
 
+exception Conn_dead
+
+(* Hardened reply read: poll with the remaining budget, then drain
+   non-blockingly.  Returning a short string signals the deadline (or
+   EOF) to the caller, which abandons the connection — a client that
+   waits forever on a struggling server is how one overload becomes a
+   whole-fleet overload. *)
+let deadline_read fd ~len ~deadline =
+  let buf = Buffer.create len in
+  let rec go () =
+    if Buffer.length buf >= len then Buffer.contents buf
+    else
+      let now = Uctx.gettime () in
+      if Time.(now >= deadline) then Buffer.contents buf
+      else
+        let ready =
+          Uctx.poll
+            ~timeout:(Time.diff deadline now)
+            [ { Sysdefs.pfd = fd; want_in = true; want_out = false } ]
+        in
+        if ready = [] then Buffer.contents buf (* timed out *)
+        else
+          match Uctx.try_read fd ~len:(len - Buffer.length buf) with
+          | `Data s ->
+              Buffer.add_string buf s;
+              go ()
+          | `Again -> go () (* spurious not-ready: re-poll *)
+          | `Eof -> Buffer.contents buf
+          | `Reset -> raise (Errno.Unix_error (Errno.ECONNRESET, "read"))
+  in
+  go ()
+
 (* The load generator: one client thread per connection, each running a
    synchronous request/reply loop with exponential think time.  A
    refused connect (no listener yet, or backlog full) backs off and
    retries, so the arrival process adapts to the server exactly the way
-   a real client's SYN retransmit does. *)
-let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~refused
-    () =
+   a real client's SYN retransmit does.  In hardened mode the retry is
+   bounded with exponential backoff plus deterministic jitter, replies
+   carry a per-request deadline, and a dead connection aborts its
+   remaining requests instead of hanging the thread. *)
+let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~shed
+    ~aborted ~gaveup ~refused () =
   (* every client thread holds an LWP while it sleeps or awaits a reply,
      so modelling [connections] independent clients needs a pool that
      size — otherwise the load generator, not the server, is the
@@ -272,6 +370,15 @@ let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~refused
   M.set_concurrency
     (if p.client_concurrency > 0 then p.client_concurrency
      else p.concurrency);
+  (* legacy SYN-retransmit: fixed 2ms pause, retry forever *)
+  let rec connect_forever () =
+    match Uctx.connect service_name with
+    | fd -> fd
+    | exception Errno.Unix_error (Errno.ECONNREFUSED, _) ->
+        incr refused;
+        Uctx.sleep (Time.ms 2);
+        connect_forever ()
+  in
   let one cid () =
     let rng =
       Rng.create ~seed:(Int64.add p.seed (Int64.of_int (7919 * cid)))
@@ -280,36 +387,85 @@ let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~refused
        retry traffic) from swamping admission at time zero *)
     if p.connect_stagger_us > 0 then
       Uctx.sleep (Time.us (p.connect_stagger_us * (cid - 1)));
-    let rec connect_retry () =
+    let rec connect_bounded attempt =
       match Uctx.connect service_name with
-      | fd -> fd
+      | fd -> Some fd
       | exception Errno.Unix_error (Errno.ECONNREFUSED, _) ->
           incr refused;
-          Uctx.sleep (Time.ms 2);
-          connect_retry ()
+          if p.connect_retry_limit > 0 && attempt >= p.connect_retry_limit
+          then begin
+            incr gaveup;
+            None
+          end
+          else begin
+            (* exponential backoff, capped at 64x the base, plus
+               deterministic jitter from the client's own stream so
+               synchronized refusals decorrelate without forking the
+               run's determinism *)
+            let base = max 1 p.retry_base_us in
+            let backoff = base * (1 lsl min attempt 6) in
+            Uctx.sleep (Time.us (backoff + Rng.int rng base));
+            connect_bounded (attempt + 1)
+          end
     in
-    let fd = connect_retry () in
-    for r = 1 to p.requests_per_conn do
-      if p.think_time_us > 0 then
-        Uctx.sleep
-          (Time.us_f
-             (Rng.exponential rng ~mean:(float_of_int p.think_time_us)));
-      let t0 = Uctx.gettime () in
-      Uctx.write_all fd (pad (Printf.sprintf "r%d.%d" cid r) p.request_bytes);
-      let reply = Uctx.read_exact fd ~len:p.reply_bytes in
-      if String.length reply = p.reply_bytes then begin
-        Hist.add latency (Time.diff (Uctx.gettime ()) t0);
-        incr served
-      end
-    done;
-    Uctx.close fd
+    let conn =
+      if p.hardened then connect_bounded 0 else Some (connect_forever ())
+    in
+    match conn with
+    | None ->
+        (* never admitted: every request of this connection is abandoned *)
+        aborted := !aborted + p.requests_per_conn
+    | Some fd -> (
+        let done_reqs = ref 0 in
+        try
+          for r = 1 to p.requests_per_conn do
+            if p.think_time_us > 0 then
+              Uctx.sleep
+                (Time.us_f
+                   (Rng.exponential rng
+                      ~mean:(float_of_int p.think_time_us)));
+            let t0 = Uctx.gettime () in
+            Uctx.write_all fd
+              (pad (Printf.sprintf "r%d.%d" cid r) p.request_bytes);
+            let reply =
+              if p.hardened && p.request_deadline_us > 0 then
+                deadline_read fd ~len:p.reply_bytes
+                  ~deadline:(Time.add t0 (Time.us p.request_deadline_us))
+              else Uctx.read_exact fd ~len:p.reply_bytes
+            in
+            if String.length reply = p.reply_bytes then begin
+              if is_busy reply then incr shed
+              else begin
+                Hist.add latency (Time.diff (Uctx.gettime ()) t0);
+                incr served
+              end;
+              incr done_reqs
+            end
+            else if p.hardened then
+              (* deadline expired or EOF mid-frame: walk away *)
+              raise Conn_dead
+          done;
+          Uctx.close fd
+        with
+        | Conn_dead | Errno.Unix_error ((Errno.ECONNRESET | Errno.EPIPE), _)
+        ->
+          aborted := !aborted + (p.requests_per_conn - !done_reqs);
+          Uctx.close fd)
   in
   let ts = List.init p.connections (fun cid -> M.spawn (one (cid + 1))) in
-  List.iter M.join ts
+  List.iter M.join ts;
+  (* Abandoned slots would strand the server: its accept loop expects
+     [connections] arrivals.  Drain them with bare connect/close pairs
+     (unbounded retry — the load is gone, admission is a matter of time)
+     so the server observes every slot and can terminate. *)
+  for _ = 1 to !gaveup do
+    let fd = connect_forever () in
+    Uctx.close fd
+  done
 
-let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?(trace = false)
-    ?debrief p =
-  let k = Kernel.boot ~cpus ?cost () in
+let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?chaos
+    ?(trace = false) ?debrief p =
+  let k = Kernel.boot ~cpus ?cost ?chaos () in
   if not trace then Kernel.set_tracing k false;
   (match Fs.create_file (Kernel.fs k) ~path:data_path () with
   | Ok f ->
@@ -318,6 +474,7 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?(trace = false)
   | Error _ -> invalid_arg "Net_server.run: setup failed");
   let latency = Hist.create "request latency" in
   let served = ref 0 and refused = ref 0 in
+  let shed = ref 0 and aborted = ref 0 and gaveup = ref 0 in
   let max_concurrent = ref 0 in
   let makespan = ref Time.zero in
   let note_conn n = if n > !max_concurrent then max_concurrent := n in
@@ -333,13 +490,18 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?(trace = false)
     (Kernel.spawn k ~name:"loadgen"
        ~main:
          (M.boot ?cost
-            (finishing (client (module M) p ~latency ~served ~refused))));
+            (finishing
+               (client (module M) p ~latency ~served ~shed ~aborted ~gaveup
+                  ~refused))));
   Kernel.run k;
   (* [debrief] runs against the still-live kernel: determinism tests read
      counters and the trace ring before the results are boxed up *)
   (match debrief with Some f -> f k | None -> ());
   {
     served = !served;
+    shed = !shed;
+    aborted = !aborted;
+    gaveup = !gaveup;
     refused = !refused;
     max_concurrent = !max_concurrent;
     latency;
@@ -357,4 +519,7 @@ let pp_results ppf r =
     "served=%d refused=%d peak_conns=%d makespan=%a throughput=%.0f req/s \
      lwps=%d latency: %a"
     r.served r.refused r.max_concurrent Time.pp r.makespan r.throughput_rps
-    r.lwps_created Hist.pp_summary r.latency
+    r.lwps_created Hist.pp_summary r.latency;
+  if r.shed > 0 || r.aborted > 0 || r.gaveup > 0 then
+    Format.fprintf ppf " shed=%d aborted=%d gaveup=%d" r.shed r.aborted
+      r.gaveup

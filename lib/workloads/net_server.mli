@@ -12,6 +12,16 @@
     request/reply rounds with exponential think time; refused connects
     (backlog overflow) back off and retry.
 
+    With [hardened] set, both sides degrade gracefully under fault
+    injection ({!Sunos_sim.Faultgen}): clients bound their connect
+    retries (exponential backoff with deterministic jitter), abandon a
+    request past [request_deadline_us] instead of waiting forever, and
+    walk away from reset connections; the server sheds load with cheap
+    "busy" replies once its work queue is [shed_queue_limit] deep
+    (recording each shed where /proc can see it) and retires
+    connections that die mid-request.  Every request is accounted for:
+    [served + shed + aborted = connections * requests_per_conn].
+
     Runs on any {!Sunos_baselines.Model.S}: M:N serves cheap concurrency
     with a few LWPs; the user-level-only model stalls the whole server
     on every cold read; 1:1 pays an LWP per thread on both sides. *)
@@ -41,6 +51,20 @@ type params = {
           reply, so modelling [connections] truly independent clients
           needs a pool that size. *)
   listen_backlog : int;
+  hardened : bool;
+      (** enable bounded retry, deadlines, shedding and abort paths;
+          off (the default) reproduces the legacy workload exactly *)
+  connect_retry_limit : int;
+      (** hardened: connect attempts before giving up (0 = unbounded) *)
+  retry_base_us : int;
+      (** hardened: backoff base; attempt [n] sleeps
+          [base * 2^min(n,6) + jitter(base)] *)
+  request_deadline_us : int;
+      (** hardened: a client abandons its connection when a reply misses
+          this deadline (0 = wait forever) *)
+  shed_queue_limit : int;
+      (** hardened: the server sheds new requests once its dispatch
+          queue is this deep (0 = never shed) *)
   seed : int64;
 }
 
@@ -48,7 +72,10 @@ val default_params : params
 
 type results = {
   served : int;  (** complete replies received by clients *)
-  refused : int;  (** connect refusals (each retried until admitted) *)
+  shed : int;  (** "busy" replies: server refused the work under load *)
+  aborted : int;  (** requests abandoned: reset, EOF, deadline, give-up *)
+  gaveup : int;  (** connections never admitted within the retry bound *)
+  refused : int;  (** connect refusals (each may be retried) *)
   max_concurrent : int;  (** peak simultaneously-accepted connections *)
   latency : Sunos_sim.Stats.Hist.t;  (** client-side request round trip *)
   makespan : Sunos_sim.Time.span;
@@ -61,13 +88,16 @@ val run :
   (module Sunos_baselines.Model.S) ->
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
+  ?chaos:Sunos_sim.Faultgen.profile ->
   ?trace:bool ->
   ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
   params ->
   results
-(** [trace] keeps the kernel trace ring enabled (default false: workloads
-    run untraced).  [debrief] runs against the live kernel after the run,
-    before results are computed — determinism tests read counters and the
-    trace ring through it. *)
+(** [chaos] selects the kernel's fault-injection profile (default: the
+    [SUNOS_CHAOS] environment variable, else off).  [trace] keeps the
+    kernel trace ring enabled (default false: workloads run untraced).
+    [debrief] runs against the live kernel after the run, before results
+    are computed — determinism tests read counters and the trace ring
+    through it, and chaos runs report injected-fault counts. *)
 
 val pp_results : Format.formatter -> results -> unit

@@ -35,11 +35,12 @@ val run :
   (module Sunos_baselines.Model.S) ->
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
+  ?chaos:Sunos_sim.Faultgen.profile ->
   ?trace:bool ->
   ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
   params ->
   results
-(** Boots a fresh machine, runs the workload to completion.  [trace]
-    and [debrief] as in {!Net_server.run}. *)
+(** Boots a fresh machine, runs the workload to completion.  [chaos],
+    [trace] and [debrief] as in {!Net_server.run}. *)
 
 val pp_results : Format.formatter -> results -> unit
