@@ -462,6 +462,98 @@ let chaos ?(smoke = false) () =
     exit 1
   end
 
+(* A11: proc-kill sweep on the kv store.  Chaos kills forked server
+   processes at syscall boundaries — the batched flush makes "mid
+   critical section, dirty list pending" the common case.  With robust
+   shard locks the surviving servers repair (OWNERDEAD -> re-flush ->
+   set-consistent) and keep serving; put conservation (applied + shed +
+   aborted = issued) must hold at every kill rate — a put may die
+   unacked (reported as applied-unacked), never vanish. *)
+let kv_chaos ?(smoke = false) () =
+  section "A11: proc-kill sweep (kv store, robust process-shared locks)";
+  let module Faultgen = Sunos_sim.Faultgen in
+  let module KV = Sunos_workloads.Kv_store in
+  let kill rate =
+    {
+      Faultgen.off with
+      Faultgen.label = Printf.sprintf "proc-kill-%g" rate;
+      proc_kill = rate;
+    }
+  in
+  let p =
+    {
+      KV.default_params with
+      server_procs = 4;
+      clients = (if smoke then 8 else 20);
+      requests_per_client = (if smoke then 5 else 12);
+      workers_per_server = (if smoke then 2 else 5);
+      think_time_us = 500;
+      (* maximum exposure: write-heavy, and batch=1 flushes every put,
+         so most server syscalls run inside a shard critical section —
+         a kill is very likely to leave a lock OWNERDEAD *)
+      read_pct = 10;
+      batch = 1;
+      (* clients of a killed server must cut their losses quickly *)
+      request_deadline_us = 150_000;
+    }
+  in
+  let total = p.KV.clients * p.KV.requests_per_client in
+  Bout.printf "  %-14s %6s %6s %5s %5s %7s %7s %7s %9s\n" "kill rate"
+    "served" "shed" "abrt" "kills" "recov" "torn" "unacked" "p99 (ms)";
+  let violated = ref false in
+  List.iter
+    (fun rate ->
+      let weather = ref "" in
+      let r =
+        KV.run ~cpus:2 ~chaos:(kill rate)
+          ~debrief:(fun k ->
+            if Kernel.chaos_total k > 0 then
+              weather :=
+                Format.asprintf "    %a" Sunos_workloads.Chaos_report.pp k)
+          p
+      in
+      let conserved = KV.puts_conserved r && KV.gets_conserved r in
+      if not conserved then violated := true;
+      Bout.printf "  %-14s %6d %6d %5d %5d %7d %7d %7d %9.2f%s\n"
+        (Printf.sprintf "%gx" (rate /. 1e-4))
+        (r.KV.gets_ok + r.KV.puts_applied)
+        (r.KV.gets_shed + r.KV.puts_shed)
+        (r.KV.gets_aborted + r.KV.puts_aborted)
+        r.KV.killed r.KV.recoveries r.KV.torn_repaired
+        (r.KV.server_applied - r.KV.puts_applied)
+        (p99_ms r.KV.latency)
+        (if conserved then "" else "   <- REQUESTS LOST");
+      if !weather <> "" then Bout.printf "%s\n" !weather;
+      ignore total)
+    (if smoke then [ 0.; 2e-3 ] else [ 0.; 2e-4; 1e-3; 2e-3; 5e-3 ]);
+  (* the control: the same weather without robust locks.  A killed
+     holder leaves its shard locked forever — contenders block until
+     their clients deadline out.  Conservation must still hold (the
+     failure is safe, just dead). *)
+  let cmp_rate = if smoke then 1e-2 else 1e-3 in
+  Bout.printf "\nrobust on/off at one rate (kill rate %gx):\n"
+    (cmp_rate /. 1e-4);
+  List.iter
+    (fun robust ->
+      let r = KV.run ~cpus:2 ~chaos:(kill cmp_rate) { p with KV.robust } in
+      let conserved = KV.puts_conserved r && KV.gets_conserved r in
+      if not conserved then violated := true;
+      Bout.printf "  %-14s %6d %6d %5d %5d %7d %7d %7d %9.2f%s\n"
+        (if robust then "robust" else "non-robust")
+        (r.KV.gets_ok + r.KV.puts_applied)
+        (r.KV.gets_shed + r.KV.puts_shed)
+        (r.KV.gets_aborted + r.KV.puts_aborted)
+        r.KV.killed r.KV.recoveries r.KV.torn_repaired
+        (r.KV.server_applied - r.KV.puts_applied)
+        (p99_ms r.KV.latency)
+        (if conserved then "" else "   <- REQUESTS LOST"))
+    [ true; false ];
+  if !violated then begin
+    Printf.eprintf
+      "ablation-kv-chaos: put/get conservation violated under proc-kill\n";
+    exit 1
+  end
+
 let all () =
   models ();
   sigwaiting ();
@@ -472,4 +564,5 @@ let all () =
   broadcast ();
   sched ();
   coalesce ();
-  chaos ()
+  chaos ();
+  kv_chaos ()

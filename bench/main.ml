@@ -21,6 +21,12 @@ let targets : (string * string * (unit -> unit)) list =
     ( "server-scaling-smoke",
       "fast variant of server-scaling for the test suite",
       fun () -> Figures.server_scaling ~smoke:true () );
+    ( "kv-store",
+      "sharded kv store over robust process-shared locks",
+      fun () -> Figures.kv_store () );
+    ( "kv-store-smoke",
+      "fast variant of kv-store for the test suite",
+      fun () -> Figures.kv_store ~smoke:true () );
     ("ablation-models", "M:N vs 1:1 vs user-only vs activations", Ablations.models);
     ("ablation-sigwaiting", "SIGWAITING deadlock avoidance", Ablations.sigwaiting);
     ("ablation-mutex", "spin vs sleep vs adaptive mutexes", Ablations.mutexes);
@@ -41,6 +47,12 @@ let targets : (string * string * (unit -> unit)) list =
     ( "ablation-chaos-smoke",
       "fast chaos sweep: checks request conservation under fault injection",
       fun () -> Ablations.chaos ~smoke:true () );
+    ( "ablation-kv-chaos",
+      "proc-kill sweep: kv store recovery via robust shard locks",
+      fun () -> Ablations.kv_chaos () );
+    ( "ablation-kv-chaos-smoke",
+      "fast proc-kill sweep: checks put/get conservation and recovery",
+      fun () -> Ablations.kv_chaos ~smoke:true () );
     ("wallclock", "Bechamel microbenchmarks of the engine", Wallclock.benchmark);
     ( "wallclock-scaling",
       "wall-clock of engine-stressing workloads; appends to BENCH_wallclock.json",

@@ -87,6 +87,7 @@ let test_sim_thread_roundtrip =
 
 module S = Sunos_workloads.Net_server
 module Db = Sunos_workloads.Database
+module KV = Sunos_workloads.Kv_store
 module Microbench = Sunos_workloads.Microbench
 
 let cost_of ~coalesce =
@@ -164,6 +165,24 @@ let database_syscall ~processes ~threads ~txns ~coalesce =
     }
   in
   ignore (Db.run ~cpus:2 ~cost:(cost_of ~coalesce) p)
+
+(* Process-shared synchronization: forked servers contending on robust
+   shard rwlocks in a shared segment, socket traffic from a separate
+   load generator, write batching to a mapped file — the cross-process
+   futex path (kwait/kwake + handle translation) under real load. *)
+let kv_store ~procs ~clients ~reqs ~coalesce =
+  let p =
+    {
+      KV.default_params with
+      server_procs = procs;
+      clients;
+      requests_per_client = reqs;
+      workers_per_server = ((clients + procs - 1) / procs);
+      think_time_us = 500;
+      request_deadline_us = 400_000;
+    }
+  in
+  ignore (KV.run ~cpus:2 ~cost:(cost_of ~coalesce) p)
 
 (* Dispatch-bound: one CPU, many kernel LWPs ping-ponging through short
    charge/sleep cycles, so the run queue stays deep and the dispatcher
@@ -252,6 +271,14 @@ let sections =
       smoke_baseline_mw = 5.0e5;
       full = (fun ~coalesce -> ignore (Microbench.sync ~cost:(cost_of ~coalesce) ()));
       smoke = (fun ~coalesce -> ignore (Microbench.sync ~cost:(cost_of ~coalesce) ()));
+    };
+    {
+      name = "kv-store";
+      kernel = true;
+      smoke_baseline_s = 0.001;
+      smoke_baseline_mw = 3.0e5;
+      full = kv_store ~procs:3 ~clients:24 ~reqs:16;
+      smoke = kv_store ~procs:2 ~clients:8 ~reqs:5;
     };
     {
       name = "dispatch-storm";

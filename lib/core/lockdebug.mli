@@ -26,6 +26,13 @@ exception Lock_order_violation of string * string
         same exception as {!Thrsan.Lock_order_violation}. *)
 
 val create : name:string -> t
+
+val create_shared : ?robust:bool -> name:string -> Syncvar.place -> t
+(** A debugging wrapper over [Mutex.create_shared] at this placement.
+    All processes wrapping the same (segment, offset) share one node in
+    the lock-order graph, so cross-process ordering cycles are caught;
+    statistics stay per-handle (each process sees its own counts). *)
+
 val name : t -> string
 
 val enter : t -> unit

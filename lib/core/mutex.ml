@@ -1,8 +1,10 @@
 open Ttypes
 module Uctx = Sunos_kernel.Uctx
+module Robust = Sunos_kernel.Robust
 module Univ = Sunos_sim.Univ
 module Time = Sunos_sim.Time
 module Cost = Sunos_hw.Cost_model
+module Shm = Sunos_hw.Shared_memory
 
 type variant = Sleep | Spin | Adaptive
 
@@ -19,6 +21,8 @@ type shared_state = {
   mutable s_locked : bool;
   mutable s_owner_pid : int;
   mutable s_owner_tid : int;
+  mutable s_robust : bool;
+  mutable s_ownerdead : bool;
   mutable s_san : san_obj option;
 }
 
@@ -31,11 +35,21 @@ let shared_key : shared_state Univ.key = Univ.key ()
 let create ?(variant = Sleep) () =
   Private { variant; owner = None; waitq = Waitq.create (); san = None }
 
-let create_shared at =
+let create_shared ?(robust = false) at =
   let state =
     Syncvar.locate at ~key:shared_key ~make:(fun () ->
-        { s_locked = false; s_owner_pid = 0; s_owner_tid = 0; s_san = None })
+        {
+          s_locked = false;
+          s_owner_pid = 0;
+          s_owner_tid = 0;
+          s_robust = false;
+          s_ownerdead = false;
+          s_san = None;
+        })
   in
+  (* robustness is a property of the lock word, not the handle: any
+     process asking for it turns it on for every mapper *)
+  if robust then state.s_robust <- true;
   Shared { state; at }
 
 let cost_of (tcb : tcb) = tcb.pool.cost
@@ -48,20 +62,54 @@ let msan s =
       s.san <- Some o;
       o
 
-let mssan st =
+(* Shared lock identity for the sanitizer: named after the home address
+   so a report from any process points at the same lock word. *)
+let mssan st (at : Syncvar.place) =
   match st.s_san with
   | Some o -> o
   | None ->
-      let o = Thrsan.new_obj ~kind:"mutex(shared)" () in
+      let o =
+        Thrsan.new_obj ~kind:"mutex(shared)"
+          ~name:(Printf.sprintf "%s+%d" (Shm.name at.Syncvar.seg) at.offset)
+          ()
+      in
       st.s_san <- Some o;
       o
 
 exception Not_owner
+exception Owner_dead
 
 let () =
   Printexc.register_printer (function
     | Not_owner -> Some "Mutex: releasing a lock not held by this thread"
+    | Owner_dead ->
+        Some
+          "Mutex: robust lock's owner died; acquire with enter_robust and \
+           repair"
     | _ -> None)
+
+(* --- robust-list bookkeeping ------------------------------------------ *)
+
+(* On every robust acquisition, register the (owner, repair closure)
+   with the kernel's robust registry; the kernel runs the closure if the
+   owner dies holding the lock, then wakes the wait channel, so the next
+   acquirer finds the lock free but flagged OWNERDEAD. *)
+let robust_register st (at : Syncvar.place) self =
+  if st.s_robust then
+    Robust.register ~seg_id:(Shm.id at.Syncvar.seg) ~offset:at.offset
+      ~pid:self.pool.pid ~tid:self.tid
+      ~owner_dead:(fun () -> self.exited || self.tstate = Tzombie)
+      ~on_death:(fun () ->
+        st.s_locked <- false;
+        st.s_owner_pid <- 0;
+        st.s_owner_tid <- 0;
+        st.s_ownerdead <- true;
+        match st.s_san with Some o -> o.so_holders <- [] | None -> ())
+
+let robust_unregister st (at : Syncvar.place) self =
+  if st.s_robust then
+    Robust.unregister ~seg_id:(Shm.id at.Syncvar.seg) ~offset:at.offset
+      ~pid:self.pool.pid ~tid:self.tid
 
 (* --- private (within-process) --------------------------------------- *)
 
@@ -163,15 +211,16 @@ let exit_private s self =
 let rec enter_shared st at self =
   let c = cost_of self in
   Uctx.charge c.Cost.sync_fast;
-  if Thrsan.tracking () then Thrsan.acquiring self (mssan st);
+  if Thrsan.tracking () then Thrsan.acquiring self (mssan st at);
   if not st.s_locked then begin
     st.s_locked <- true;
     st.s_owner_pid <- self.pool.pid;
     st.s_owner_tid <- self.tid;
-    if Thrsan.tracking () then Thrsan.acquired self (mssan st)
+    robust_register st at self;
+    if Thrsan.tracking () then Thrsan.acquired self (mssan st at)
   end
   else begin
-    if Thrsan.tracking () then Thrsan.blocked_on self (mssan st);
+    if Thrsan.tracking () then Thrsan.blocked_on self (mssan st at);
     (* kwait's expect closes the check-then-sleep race *)
     (match Syncvar.wait at ~expect:(fun () -> st.s_locked) () with
     | `Woken | `Timeout -> ());
@@ -185,10 +234,11 @@ let exit_shared st at self =
   then raise Not_owner;
   let c = cost_of self in
   Uctx.charge c.Cost.sync_fast;
+  robust_unregister st at self;
   st.s_locked <- false;
   st.s_owner_pid <- 0;
   st.s_owner_tid <- 0;
-  if Thrsan.tracking () then Thrsan.released self (mssan st);
+  if Thrsan.tracking () then Thrsan.released self (mssan st at);
   ignore (Syncvar.wake at ~count:1)
 
 (* --- public ----------------------------------------------------------- *)
@@ -197,13 +247,40 @@ let enter m =
   let self = Current.get () in
   match m with
   | Private s -> enter_private s self
-  | Shared { state; at } -> enter_shared state at self
+  | Shared { state; at } ->
+      enter_shared state at self;
+      if state.s_robust && state.s_ownerdead then begin
+        (* the plain entry point cannot return the recovery obligation;
+           refuse the lock (use [enter_robust] to repair) *)
+        exit_shared state at self;
+        raise Owner_dead
+      end
+
+let enter_robust m =
+  let self = Current.get () in
+  match m with
+  | Private s ->
+      enter_private s self;
+      `Locked
+  | Shared { state; at } ->
+      enter_shared state at self;
+      if state.s_robust && state.s_ownerdead then `Owner_dead else `Locked
 
 let exit m =
   let self = Current.get () in
   match m with
   | Private s -> exit_private s self
   | Shared { state; at } -> exit_shared state at self
+
+let set_consistent m =
+  let self = Current.get () in
+  match m with
+  | Private _ -> ()
+  | Shared { state; _ } ->
+      if not (state.s_locked && state.s_owner_pid = self.pool.pid
+              && state.s_owner_tid = self.tid)
+      then raise Not_owner;
+      state.s_ownerdead <- false
 
 let try_enter m =
   let self = Current.get () in
@@ -219,13 +296,15 @@ let try_enter m =
         true
       end
       else false
-  | Shared { state; _ } ->
-      if not state.s_locked then begin
-        if Thrsan.tracking () then Thrsan.acquiring self (mssan state);
+  | Shared { state; at } ->
+      if (not state.s_locked) && not (state.s_robust && state.s_ownerdead)
+      then begin
+        if Thrsan.tracking () then Thrsan.acquiring self (mssan state at);
         state.s_locked <- true;
         state.s_owner_pid <- self.pool.pid;
         state.s_owner_tid <- self.tid;
-        if Thrsan.tracking () then Thrsan.acquired self (mssan state);
+        robust_register state at self;
+        if Thrsan.tracking () then Thrsan.acquired self (mssan state at);
         true
       end
       else false
@@ -233,6 +312,10 @@ let try_enter m =
 let is_locked = function
   | Private s -> s.owner <> None
   | Shared { state; _ } -> state.s_locked
+
+let owner_dead = function
+  | Private _ -> false
+  | Shared { state; _ } -> state.s_robust && state.s_ownerdead
 
 let holding m =
   let self = Current.get () in

@@ -24,16 +24,40 @@ val create : ?variant:variant -> unit -> t
 (** A process-private mutex ("statically allocated as zero": usable
     immediately, default variant). *)
 
-val create_shared : Syncvar.place -> t
+val create_shared : ?robust:bool -> Syncvar.place -> t
 (** The mutex at this shared placement — creating it if this is the
-    first process to look, finding the existing state otherwise. *)
+    first process to look, finding the existing state otherwise.
+
+    [~robust:true] makes the lock robust: if its owner's process (or
+    LWP) dies holding it, the kernel clears ownership, marks the lock
+    word [OWNERDEAD] and wakes all contenders; the next acquirer — via
+    {!enter_robust} — gets [`Owner_dead] {e with the lock held} and must
+    repair the protected state, then call {!set_consistent}.
+    Robustness is sticky: once any mapper asks for it, the lock word
+    stays robust for everyone. *)
 
 val enter : t -> unit
 val exit : t -> unit
 val try_enter : t -> bool
+(** [try_enter] refuses an un-repaired robust lock ([`Owner_dead]
+    pending) — only {!enter_robust} hands those out. *)
+
+val enter_robust : t -> [ `Locked | `Owner_dead ]
+(** Like {!enter}, but on a robust lock whose previous owner died the
+    caller acquires anyway and is told [`Owner_dead]: it now holds the
+    lock over possibly-inconsistent protected state and should repair
+    it, then {!set_consistent}.  Private mutexes always return
+    [`Locked]. *)
+
+val set_consistent : t -> unit
+(** Clear the [OWNERDEAD] flag; caller must hold the lock (raises
+    {!Not_owner} otherwise). *)
 
 val is_locked : t -> bool
 (** Racy snapshot; for tests and assertions. *)
+
+val owner_dead : t -> bool
+(** Racy snapshot of the [OWNERDEAD] flag. *)
 
 val holding : t -> bool
 (** Whether the calling thread owns the mutex. *)
@@ -41,6 +65,10 @@ val holding : t -> bool
 exception Not_owner
 (** Raised by {!exit} when the caller does not hold the lock (mutexes
     are strictly bracketing). *)
+
+exception Owner_dead
+(** Raised by plain {!enter} on a robust lock in [OWNERDEAD] state:
+    recovery requires the {!enter_robust} entry point. *)
 
 (**/**)
 

@@ -1,7 +1,9 @@
 open Ttypes
 module Uctx = Sunos_kernel.Uctx
+module Robust = Sunos_kernel.Robust
 module Univ = Sunos_sim.Univ
 module Cost = Sunos_hw.Cost_model
+module Shm = Sunos_hw.Shared_memory
 
 type rw = Reader | Writer
 
@@ -22,6 +24,8 @@ type shared_state = {
   mutable s_writer_pid : int;
   mutable s_writer_tid : int;
   mutable s_wwaiters : int;
+  mutable s_robust : bool;
+  mutable s_ownerdead : bool;
   mutable s_san : san_obj option;
 }
 
@@ -36,12 +40,13 @@ let create () =
     { readers = []; writer = None; upgrader = None; rq = Waitq.create ();
       wq = Waitq.create (); uq = Waitq.create (); san = None }
 
-let create_shared at =
+let create_shared ?(robust = false) at =
   let state =
     Syncvar.locate at ~key:shared_key ~make:(fun () ->
         { s_readers = 0; s_writer = false; s_writer_pid = 0; s_writer_tid = 0;
-          s_wwaiters = 0; s_san = None })
+          s_wwaiters = 0; s_robust = false; s_ownerdead = false; s_san = None })
   in
+  if robust then state.s_robust <- true;
   Shared { state; at }
 
 let rsan s =
@@ -52,13 +57,60 @@ let rsan s =
       s.san <- Some o;
       o
 
-let rssan st =
+let rssan st (at : Syncvar.place) =
   match st.s_san with
   | Some o -> o
   | None ->
-      let o = Thrsan.new_obj ~kind:"rwlock(shared)" () in
+      let o =
+        Thrsan.new_obj ~kind:"rwlock(shared)"
+          ~name:(Printf.sprintf "%s+%d" (Shm.name at.Syncvar.seg) at.offset)
+          ()
+      in
       st.s_san <- Some o;
       o
+
+exception Owner_dead
+
+let () =
+  Printexc.register_printer (function
+    | Owner_dead ->
+        Some
+          "Rwlock: robust lock's writer died; acquire with enter_robust and \
+           repair"
+    | _ -> None)
+
+(* --- robust-list bookkeeping (see Mutex for the protocol) ------------- *)
+
+let robust_reg st (at : Syncvar.place) self ~on_death =
+  if st.s_robust then
+    Robust.register ~seg_id:(Shm.id at.Syncvar.seg) ~offset:at.offset
+      ~pid:self.pool.pid ~tid:self.tid
+      ~owner_dead:(fun () -> self.exited || self.tstate = Tzombie)
+      ~on_death
+
+(* A dead writer may have left the protected state torn: flag OWNERDEAD
+   for the next acquirer to repair. *)
+let robust_reg_writer st at self =
+  robust_reg st at self ~on_death:(fun () ->
+      st.s_writer <- false;
+      st.s_writer_pid <- 0;
+      st.s_writer_tid <- 0;
+      st.s_ownerdead <- true;
+      match st.s_san with Some o -> o.so_holders <- [] | None -> ())
+
+(* A dead reader cannot have corrupted anything; just drop its hold so
+   writers stop waiting for a ghost. *)
+let robust_reg_reader st at self =
+  robust_reg st at self ~on_death:(fun () ->
+      st.s_readers <- max 0 (st.s_readers - 1);
+      match st.s_san with
+      | Some o -> o.so_holders <- List.filter (fun t -> t != self) o.so_holders
+      | None -> ())
+
+let robust_unreg st (at : Syncvar.place) self =
+  if st.s_robust then
+    Robust.unregister ~seg_id:(Shm.id at.Syncvar.seg) ~offset:at.offset
+      ~pid:self.pool.pid ~tid:self.tid
 
 (* Writer preference: new readers are admitted only when no writer holds
    or waits and no upgrade is pending. *)
@@ -189,59 +241,89 @@ let try_upgrade_priv s self =
 
 (* --- shared variant: loops over kwait with a broadcast wake ---------- *)
 
+(* Returns [`Owner_dead] when a robust lock's writer died: regardless of
+   the requested side the acquirer is then admitted as the WRITER, since
+   repairing the protected state needs exclusive access.  After
+   [set_consistent] it may [downgrade] back to reading. *)
 let rec enter_shared st at self kind =
-  if Thrsan.tracking () then Thrsan.acquiring self (rssan st);
-  match kind with
-  | Reader ->
-      if (not st.s_writer) && st.s_wwaiters = 0 then begin
-        st.s_readers <- st.s_readers + 1;
-        if Thrsan.tracking () then Thrsan.acquired self (rssan st)
-      end
-      else begin
-        if Thrsan.tracking () then Thrsan.blocked_on self (rssan st);
-        (match
-           Syncvar.wait at
-             ~expect:(fun () -> st.s_writer || st.s_wwaiters > 0)
-             ()
-         with
-        | `Woken | `Timeout -> ());
-        if Thrsan.tracking () then Thrsan.clear_wait self;
-        enter_shared st at self kind
-      end
-  | Writer ->
-      if (not st.s_writer) && st.s_readers = 0 then begin
-        st.s_writer <- true;
-        st.s_writer_pid <- self.pool.pid;
-        st.s_writer_tid <- self.tid;
-        if Thrsan.tracking () then Thrsan.acquired self (rssan st)
-      end
-      else begin
-        st.s_wwaiters <- st.s_wwaiters + 1;
-        if Thrsan.tracking () then Thrsan.blocked_on self (rssan st);
-        (match
-           Syncvar.wait at
-             ~expect:(fun () -> st.s_writer || st.s_readers > 0)
-             ()
-         with
-        | `Woken | `Timeout -> ());
-        if Thrsan.tracking () then Thrsan.clear_wait self;
-        st.s_wwaiters <- st.s_wwaiters - 1;
-        enter_shared st at self kind
-      end
+  if Thrsan.tracking () then Thrsan.acquiring self (rssan st at);
+  if st.s_robust && st.s_ownerdead then begin
+    if (not st.s_writer) && st.s_readers = 0 then begin
+      st.s_writer <- true;
+      st.s_writer_pid <- self.pool.pid;
+      st.s_writer_tid <- self.tid;
+      robust_reg_writer st at self;
+      if Thrsan.tracking () then Thrsan.acquired self (rssan st at);
+      `Owner_dead
+    end
+    else begin
+      if Thrsan.tracking () then Thrsan.blocked_on self (rssan st at);
+      (match
+         Syncvar.wait at ~expect:(fun () -> st.s_writer || st.s_readers > 0) ()
+       with
+      | `Woken | `Timeout -> ());
+      if Thrsan.tracking () then Thrsan.clear_wait self;
+      enter_shared st at self kind
+    end
+  end
+  else
+    match kind with
+    | Reader ->
+        if (not st.s_writer) && st.s_wwaiters = 0 then begin
+          st.s_readers <- st.s_readers + 1;
+          robust_reg_reader st at self;
+          if Thrsan.tracking () then Thrsan.acquired self (rssan st at);
+          `Locked
+        end
+        else begin
+          if Thrsan.tracking () then Thrsan.blocked_on self (rssan st at);
+          (match
+             Syncvar.wait at
+               ~expect:(fun () -> st.s_writer || st.s_wwaiters > 0)
+               ()
+           with
+          | `Woken | `Timeout -> ());
+          if Thrsan.tracking () then Thrsan.clear_wait self;
+          enter_shared st at self kind
+        end
+    | Writer ->
+        if (not st.s_writer) && st.s_readers = 0 then begin
+          st.s_writer <- true;
+          st.s_writer_pid <- self.pool.pid;
+          st.s_writer_tid <- self.tid;
+          robust_reg_writer st at self;
+          if Thrsan.tracking () then Thrsan.acquired self (rssan st at);
+          `Locked
+        end
+        else begin
+          st.s_wwaiters <- st.s_wwaiters + 1;
+          if Thrsan.tracking () then Thrsan.blocked_on self (rssan st at);
+          (match
+             Syncvar.wait at
+               ~expect:(fun () -> st.s_writer || st.s_readers > 0)
+               ()
+           with
+          | `Woken | `Timeout -> ());
+          if Thrsan.tracking () then Thrsan.clear_wait self;
+          st.s_wwaiters <- st.s_wwaiters - 1;
+          enter_shared st at self kind
+        end
 
 let exit_shared st at self =
   if st.s_writer && st.s_writer_pid = self.pool.pid
      && st.s_writer_tid = self.tid
   then begin
+    robust_unreg st at self;
     st.s_writer <- false;
     st.s_writer_pid <- 0;
     st.s_writer_tid <- 0;
-    if Thrsan.tracking () then Thrsan.released self (rssan st);
+    if Thrsan.tracking () then Thrsan.released self (rssan st at);
     ignore (Syncvar.wake_all at)
   end
   else if st.s_readers > 0 then begin
+    robust_unreg st at self;
     st.s_readers <- st.s_readers - 1;
-    if Thrsan.tracking () then Thrsan.released self (rssan st);
+    if Thrsan.tracking () then Thrsan.released self (rssan st at);
     if st.s_readers = 0 then ignore (Syncvar.wake_all at)
   end
   else failwith "Rwlock.exit: lock not held"
@@ -257,7 +339,34 @@ let enter l kind =
   Pool.thread_checkpoint ();
   match l with
   | Private s -> enter_priv s self kind
+  | Shared { state; at } -> (
+      match enter_shared state at self kind with
+      | `Locked -> ()
+      | `Owner_dead ->
+          (* plain entry cannot return the recovery obligation; release
+             the write side we were handed and refuse *)
+          exit_shared state at self;
+          raise Owner_dead)
+
+let enter_robust l kind =
+  let self = Current.get () in
+  charge_op ();
+  Pool.thread_checkpoint ();
+  match l with
+  | Private s ->
+      enter_priv s self kind;
+      `Locked
   | Shared { state; at } -> enter_shared state at self kind
+
+let set_consistent l =
+  let self = Current.get () in
+  match l with
+  | Private _ -> ()
+  | Shared { state; _ } ->
+      if not (state.s_writer && state.s_writer_pid = self.pool.pid
+              && state.s_writer_tid = self.tid)
+      then failwith "Rwlock.set_consistent: calling thread is not the writer";
+      state.s_ownerdead <- false
 
 let exit l =
   let self = Current.get () in
@@ -295,30 +404,35 @@ let try_enter l kind =
             true
           end
           else false)
-  | Shared { state; _ } -> (
-      match kind with
-      | Reader ->
-          if (not state.s_writer) && state.s_wwaiters = 0 then begin
-            if Thrsan.tracking () then begin
-              Thrsan.acquiring self (rssan state);
-              Thrsan.acquired self (rssan state)
-            end;
-            state.s_readers <- state.s_readers + 1;
-            true
-          end
-          else false
-      | Writer ->
-          if (not state.s_writer) && state.s_readers = 0 then begin
-            if Thrsan.tracking () then begin
-              Thrsan.acquiring self (rssan state);
-              Thrsan.acquired self (rssan state)
-            end;
-            state.s_writer <- true;
-            state.s_writer_pid <- self.pool.pid;
-            state.s_writer_tid <- self.tid;
-            true
-          end
-          else false)
+  | Shared { state; at } -> (
+      if state.s_robust && state.s_ownerdead then false
+        (* un-repaired: only enter_robust hands the lock out *)
+      else
+        match kind with
+        | Reader ->
+            if (not state.s_writer) && state.s_wwaiters = 0 then begin
+              if Thrsan.tracking () then begin
+                Thrsan.acquiring self (rssan state at);
+                Thrsan.acquired self (rssan state at)
+              end;
+              state.s_readers <- state.s_readers + 1;
+              robust_reg_reader state at self;
+              true
+            end
+            else false
+        | Writer ->
+            if (not state.s_writer) && state.s_readers = 0 then begin
+              if Thrsan.tracking () then begin
+                Thrsan.acquiring self (rssan state at);
+                Thrsan.acquired self (rssan state at)
+              end;
+              state.s_writer <- true;
+              state.s_writer_pid <- self.pool.pid;
+              state.s_writer_tid <- self.tid;
+              robust_reg_writer state at self;
+              true
+            end
+            else false)
 
 let downgrade l =
   let self = Current.get () in
@@ -329,10 +443,12 @@ let downgrade l =
       if not (state.s_writer && state.s_writer_pid = self.pool.pid
               && state.s_writer_tid = self.tid)
       then failwith "Rwlock.downgrade: calling thread is not the writer";
+      robust_unreg state at self;
       state.s_writer <- false;
       state.s_writer_pid <- 0;
       state.s_writer_tid <- 0;
       state.s_readers <- 1;
+      robust_reg_reader state at self;
       if state.s_wwaiters = 0 then ignore (Syncvar.wake_all at)
 
 let try_upgrade l =
@@ -341,15 +457,18 @@ let try_upgrade l =
   Pool.thread_checkpoint ();
   match l with
   | Private s -> try_upgrade_priv s self
-  | Shared { state; _ } ->
+  | Shared { state; at } ->
       (* stricter than the private variant: succeeds only when we are
          the sole reader right now (no cross-process upgrade waiting) *)
       if state.s_readers = 1 && (not state.s_writer) && state.s_wwaiters = 0
+         && not (state.s_robust && state.s_ownerdead)
       then begin
+        robust_unreg state at self;
         state.s_readers <- 0;
         state.s_writer <- true;
         state.s_writer_pid <- self.pool.pid;
         state.s_writer_tid <- self.tid;
+        robust_reg_writer state at self;
         true
       end
       else false
@@ -361,3 +480,7 @@ let readers = function
 let has_writer = function
   | Private s -> s.writer <> None
   | Shared { state; _ } -> state.s_writer
+
+let owner_dead = function
+  | Private _ -> false
+  | Shared { state; _ } -> state.s_robust && state.s_ownerdead

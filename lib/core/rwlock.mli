@@ -10,14 +10,36 @@ type t
 type rw = Reader | Writer
 
 val create : unit -> t
-val create_shared : Syncvar.place -> t
+
+val create_shared : ?robust:bool -> Syncvar.place -> t
+(** The rwlock at this shared placement (creating on first look).
+    [~robust:true]: if the writer's process or LWP dies holding the
+    lock, the kernel clears ownership, flags [OWNERDEAD] and wakes all
+    contenders; the next acquirer — via {!enter_robust}, whichever side
+    it asked for — is admitted as the {e writer} so it can repair the
+    protected state, then {!set_consistent} (and possibly {!downgrade}).
+    A dead {e reader}'s hold is simply dropped (readers cannot have
+    corrupted anything).  Sticky, as with [Mutex.create_shared]. *)
 
 val enter : t -> rw -> unit
 val exit : t -> unit
 (** Releases whichever side the calling thread holds.  Raises
     [Mutex.Not_owner]-style [Failure] if it holds neither. *)
 
+val enter_robust : t -> rw -> [ `Locked | `Owner_dead ]
+(** Like {!enter}, but an [OWNERDEAD] robust lock is handed out anyway:
+    the caller gets [`Owner_dead] holding the {e write} side regardless
+    of the side requested, repairs, then {!set_consistent}.  Private
+    rwlocks always return [`Locked]. *)
+
+val set_consistent : t -> unit
+(** Clear the [OWNERDEAD] flag; caller must hold the write side. *)
+
+exception Owner_dead
+(** Raised by plain {!enter} on a robust lock in [OWNERDEAD] state. *)
+
 val try_enter : t -> rw -> bool
+(** Refuses an un-repaired robust lock ([OWNERDEAD] pending). *)
 
 val downgrade : t -> unit
 (** Atomically turn the calling thread's writer lock into a reader lock.
@@ -31,3 +53,6 @@ val try_upgrade : t -> bool
 
 val readers : t -> int
 val has_writer : t -> bool
+
+val owner_dead : t -> bool
+(** Racy snapshot of the [OWNERDEAD] flag. *)

@@ -4,6 +4,8 @@ type t = {
   id : int;
   name : string;
   size : int;
+  mutable anon_private : bool;
+  clone_of : int option;
   cells : (int, Sunos_sim.Univ.t) Hashtbl.t;
   mutable resident : bool array;
   mutable next_offset : int;
@@ -21,15 +23,33 @@ let create ~name ~size =
     id = 1 + Atomic.fetch_and_add next_id 1;
     name;
     size;
+    anon_private = false;
+    clone_of = None;
     cells = Hashtbl.create 16;
     resident = Array.make pages false;
     next_offset = 0;
     map_count = 0;
   }
 
+let clone t =
+  {
+    id = 1 + Atomic.fetch_and_add next_id 1;
+    name = t.name;
+    size = t.size;
+    anon_private = t.anon_private;
+    clone_of = Some t.id;
+    cells = Hashtbl.copy t.cells;
+    resident = Array.copy t.resident;
+    next_offset = t.next_offset;
+    map_count = 0;
+  }
+
 let id t = t.id
 let name t = t.name
 let size t = t.size
+let anon_private t = t.anon_private
+let mark_anon_private t = t.anon_private <- true
+let clone_of t = t.clone_of
 let page_count t = Array.length t.resident
 
 let check_offset t offset =

@@ -14,8 +14,24 @@ type t
 val create : name:string -> size:int -> t
 (** [size] in bytes; pages are 4 KiB. *)
 
+val clone : t -> t
+(** A copy-on-fork snapshot: fresh id, same name/size, cell table and
+    residency copied, map count zero.  {!clone_of} on the copy records
+    the source segment's id so the kernel can translate stale parent
+    handles held by forked children. *)
+
 val id : t -> int
 (** Unique across all segments ever created; keys the kernel's wait table. *)
+
+val anon_private : t -> bool
+
+val mark_anon_private : t -> unit
+(** Tag a private anonymous mapping: at [fork] the kernel replaces it in
+    the child's mapping table with a {!clone}, so writes stop aliasing
+    across the process boundary.  Named/file/shared segments stay
+    system-wide objects and are never marked. *)
+
+val clone_of : t -> int option
 
 val name : t -> string
 val size : t -> int

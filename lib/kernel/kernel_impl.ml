@@ -59,6 +59,7 @@ let create ~machine =
     runq_seq = 0;
     gangs = Hashtbl.create 8;
     futex = Hashtbl.create 64;
+    futex_names = Hashtbl.create 16;
     ctr_syscalls = Counter.create "syscalls";
     ctr_dispatches = Counter.create "dispatches";
     ctr_preemptions = Counter.create "preemptions";
@@ -679,6 +680,34 @@ and interrupt_sleep k lwp =
       wake ~sig_eintr:true k lwp (Sysdefs.R_err Errno.EINTR)
   | Some _ | None -> ()
 
+(* Wake every live waiter parked on a shared-object wait channel (the
+   kwake syscall wakes [count]; robust-owner death wakes everyone so all
+   contenders re-examine the lock word and observe OWNERDEAD). *)
+and futex_wake_all k ~seg_id ~offset =
+  match Hashtbl.find_opt k.futex (seg_id, offset) with
+  | None -> 0
+  | Some q ->
+      let woken = ref 0 in
+      while not (Queue.is_empty q) do
+        let w = Queue.pop q in
+        if !(w.fw_alive) && w.fw_lwp.lstate = Lsleeping then begin
+          w.fw_alive := false;
+          wake k w.fw_lwp Sysdefs.R_ok;
+          incr woken
+        end
+      done;
+      !woken
+
+(* Robust USYNC_PROCESS sweep: repair locks whose owner just died and
+   wake their wait channels so the next acquirer sees OWNERDEAD instead
+   of blocking forever on a lock nobody will release. *)
+and robust_sweep k channels =
+  List.iter
+    (fun (seg_id, offset) ->
+      let woken = futex_wake_all k ~seg_id ~offset in
+      trace k "ownerdead" "seg%d+%d woke=%d" seg_id offset woken)
+    channels
+
 (* ------------------------------------------------------------------ *)
 (* Syscall completion                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -842,6 +871,10 @@ and lwp_exit_internal k lwp =
   if live_lwps lwp.proc = [] && lwp.proc.pstate = Palive then
     proc_exit k lwp.proc ~status:lwp.proc.exit_status
   else begin
+    (* The process survives this LWP: robust locks whose registering
+       thread died with it (e.g. a chaos-reaped pool LWP holding a
+       shard lock) must still be repaired. *)
+    robust_sweep k (Robust.sweep_dead_owners lwp.proc.pid);
     (* the remaining LWPs may now all be in indefinite waits *)
     if lwp.proc.pstate = Palive then check_sigwaiting k lwp.proc;
     kick k
@@ -886,6 +919,10 @@ and proc_exit k proc ~status =
        stale entries. *)
     List.iter (fun l -> destroy_lwp k l) proc.lwps;
     proc.lwps <- [];
+    (* Robust USYNC_PROCESS cleanup — after the LWP teardown so the dead
+       process's own futex waiters are already cancelled and only other
+       processes' contenders get woken to observe OWNERDEAD. *)
+    robust_sweep k (Robust.sweep_pid proc.pid);
     Hashtbl.iter (fun _ fdobj -> close_fdobj fdobj) proc.fdtab;
     Hashtbl.reset proc.fdtab;
     List.iter Sunos_hw.Shared_memory.decr_map_count proc.mappings;

@@ -148,6 +148,9 @@ type kernel = {
   gangs : (int, lwp list ref) Hashtbl.t;
   futex : (int * int, futex_waiter Queue.t) Hashtbl.t;
       (* (segment id, offset) -> waiters *)
+  futex_names : (int, string) Hashtbl.t;
+      (* segment id -> segment name, recorded at kwait so /proc can
+         label wait channels without holding segment handles *)
   (* counters for /proc and tests *)
   ctr_syscalls : Sunos_sim.Stats.Counter.t;
   ctr_dispatches : Sunos_sim.Stats.Counter.t;

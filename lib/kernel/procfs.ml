@@ -125,3 +125,50 @@ let pp_proc ppf pi =
     pi.pi_lwps
 
 let pp ppf k = List.iter (pp_proc ppf) (snapshot k)
+
+(* --- shared-object wait channels -------------------------------------- *)
+
+type wchan_info = {
+  wc_seg_id : int;
+  wc_seg_name : string;
+  wc_offset : int;
+  wc_waiters : (int * int) list; (* (pid, lwpid), sorted *)
+}
+
+let wait_channels k =
+  Hashtbl.fold
+    (fun (seg_id, offset) q acc ->
+      let waiters =
+        Queue.fold
+          (fun ws w ->
+            if !(w.fw_alive) && w.fw_lwp.lstate = Lsleeping then
+              (w.fw_lwp.proc.pid, w.fw_lwp.lid) :: ws
+            else ws)
+          [] q
+      in
+      if waiters = [] then acc
+      else
+        {
+          wc_seg_id = seg_id;
+          wc_seg_name =
+            (match Hashtbl.find_opt k.futex_names seg_id with
+            | Some n -> n
+            | None -> "?");
+          wc_offset = offset;
+          wc_waiters = List.sort compare waiters;
+        }
+        :: acc)
+    k.futex []
+  |> List.sort (fun a b ->
+         compare (a.wc_seg_id, a.wc_offset) (b.wc_seg_id, b.wc_offset))
+
+let pp_wait_channels ppf k =
+  List.iter
+    (fun wc ->
+      Format.fprintf ppf "wchan %s(seg%d)+%d:%s@." wc.wc_seg_name wc.wc_seg_id
+        wc.wc_offset
+        (String.concat ""
+           (List.map
+              (fun (pid, lid) -> Printf.sprintf " pid%d/lwp%d" pid lid)
+              wc.wc_waiters)))
+    (wait_channels k)

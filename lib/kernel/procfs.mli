@@ -44,3 +44,19 @@ val proc : Ktypes.kernel -> int -> proc_info option
 val pp_proc : Format.formatter -> proc_info -> unit
 val pp : Format.formatter -> Ktypes.kernel -> unit
 (** A ps(1)-style table of every process and LWP. *)
+
+type wchan_info = {
+  wc_seg_id : int;
+  wc_seg_name : string;
+  wc_offset : int;
+  wc_waiters : (int * int) list;  (** (pid, lwpid) pairs, sorted *)
+}
+
+val wait_channels : Ktypes.kernel -> wchan_info list
+(** The kernel's shared-object wait channels — one entry per
+    (segment, offset) with at least one live sleeping waiter, ordered by
+    (segment id, offset).  This is how a USYNC_PROCESS block shows up
+    from outside: the blocked LWP's wchan says ["kwait"]; this table
+    says on which lock word of which segment. *)
+
+val pp_wait_channels : Format.formatter -> Ktypes.kernel -> unit

@@ -282,7 +282,14 @@ let do_fork k lwp ~child_main ~all_lwps =
   child.uid <- proc.uid;
   child.gid <- proc.gid;
   Array.blit proc.handlers 0 child.handlers 0 (Array.length proc.handlers);
-  child.mappings <- proc.mappings;
+  (* Shared mappings stay shared; private anonymous ones are snapshot-
+     copied (the model's copy-on-write) so post-fork writes stop
+     aliasing across the process boundary.  [resolve_seg] translates
+     the parent handles a forked closure still holds. *)
+  child.mappings <-
+    List.map
+      (fun seg -> if Shm.anon_private seg then Shm.clone seg else seg)
+      proc.mappings;
   List.iter Shm.incr_map_count child.mappings;
   let clwp =
     K.make_lwp k child ~entry:child_main ~cls:(Sc_timeshare { ts_pri = 29 })
@@ -342,12 +349,42 @@ let do_waitpid k lwp pid_filter =
             proc.waitpid_waiters <-
               List.filter (fun l -> l != lwp) proc.waitpid_waiters)
 
+(* --- segment handle translation ---------------------------------------- *)
+
+(* A forked child's closures still hold the parent's handles for private
+   anonymous mappings that fork replaced with snapshot clones.  Kernel
+   entry points that take a segment resolve such a stale handle to the
+   calling process's own clone, the way an address means a different
+   page through a different address space. *)
+let resolve_seg proc seg =
+  if List.memq seg proc.mappings then seg
+  else
+    let sid = Shm.id seg in
+    match
+      List.find_opt (fun s -> Shm.clone_of s = Some sid) proc.mappings
+    with
+    | Some s -> s
+    | None -> seg
+
 (* --- the table --------------------------------------------------------- *)
 
 let execute k lwp req =
   let c = K.cost k in
   let proc = lwp.proc in
   match req with
+  (* chaos: kill a forked process outright at a syscall boundary — the
+     simulated analogue of a server child segfaulting or being OOM-killed
+     mid-request.  Only forked children are eligible (the workload's root
+     processes host the harness itself), and the exit/fork syscalls are
+     exempt so every kill lands where the process still has work in
+     flight.  Status 137 = SIGKILL. *)
+  | _
+    when proc.parent <> None
+         && (match req with Sys_exit _ | Sys_fork _ -> false | _ -> true)
+         && K.chaos_roll k ~site:"proc-kill" (chp k).proc_kill ->
+      K.trace k "chaos" "proc-kill pid%d (%s) in %s" proc.pid proc.pname
+        (sysreq_name req);
+      K.proc_exit k proc ~status:137
   | Sys_getpid -> K.complete k lwp (R_int proc.pid)
   | Sys_getlwpid -> K.complete k lwp (R_int lwp.lid)
   | Sys_gettime -> K.complete k lwp (R_time (K.now k))
@@ -586,12 +623,16 @@ let execute k lwp req =
           | Fd_sock_listen _)
       | None ->
           K.complete k lwp (R_err Errno.EBADF))
-  | Sys_mmap_anon { size; shared = _ } ->
+  | Sys_mmap_anon { size; shared } ->
+      (* MAP_SHARED anon segments are system-wide objects (fork children
+         alias them); MAP_PRIVATE ones are snapshot-cloned at fork. *)
       let seg = Shm.create ~name:"[anon]" ~size in
+      if not shared then Shm.mark_anon_private seg;
       proc.mappings <- seg :: proc.mappings;
       Shm.incr_map_count seg;
       K.complete k lwp ~op_cost:c.Cost.fs_op (R_seg seg)
   | Sys_munmap seg ->
+      let seg = resolve_seg proc seg in
       let removed = ref false in
       proc.mappings <-
         List.filter
@@ -605,6 +646,7 @@ let execute k lwp req =
       if !removed then Shm.decr_map_count seg;
       K.complete k lwp (if !removed then R_ok else R_err Errno.EINVAL)
   | Sys_touch (seg, offset) ->
+      let seg = resolve_seg proc seg in
       let page = Shm.page_of_offset ~offset in
       if page >= Shm.page_count seg then K.complete k lwp (R_err Errno.EINVAL)
       else if Shm.resident seg ~page then K.complete k lwp R_ok
@@ -861,6 +903,8 @@ let execute k lwp req =
       | Some p when not (p ()) ->
           K.complete k lwp ~op_cost:c.Cost.kwait_fixed R_ok
       | Some _ | None ->
+          let seg = resolve_seg proc seg in
+          Hashtbl.replace k.futex_names (Shm.id seg) (Shm.name seg);
           let key = (Shm.id seg, offset) in
           let q =
             match Hashtbl.find_opt k.futex key with
@@ -878,6 +922,7 @@ let execute k lwp req =
           | Some t -> K.set_sleep_timeout k lwp t (R_err Errno.ETIMEDOUT)
           | None -> ()))
   | Sys_kwake { seg; offset; count } ->
+      let seg = resolve_seg proc seg in
       let key = (Shm.id seg, offset) in
       let woken = ref 0 in
       (match Hashtbl.find_opt k.futex key with

@@ -29,6 +29,8 @@ type profile = {
   (* scheduling *)
   preempt_storm : float; (* dispatch with a storm-shrunken quantum *)
   lwp_reap : float;      (* kill an idle-parking pool LWP *)
+  (* process-level *)
+  proc_kill : float;     (* kill a forked process at a syscall boundary *)
   (* timing *)
   fault_spike : float;   (* latency spike on a page-fault disk transfer *)
   spike_factor : int;    (* transfer-size multiplier during a spike *)
@@ -53,6 +55,7 @@ let off =
     stall_us = 0;
     preempt_storm = 0.;
     lwp_reap = 0.;
+    proc_kill = 0.;
     fault_spike = 0.;
     spike_factor = 1;
     timer_jitter = 0.;

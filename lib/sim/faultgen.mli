@@ -23,6 +23,7 @@ type profile = {
   stall_us : int;        (** ceiling on the stall duration, µs *)
   preempt_storm : float; (** dispatch with a storm-shrunken quantum *)
   lwp_reap : float;      (** kill an idle-parking pool LWP *)
+  proc_kill : float;     (** kill a forked process at a syscall boundary *)
   fault_spike : float;   (** latency spike on a page-fault transfer *)
   spike_factor : int;    (** transfer-size multiplier during a spike *)
   timer_jitter : float;  (** late delivery of a real interval timer *)

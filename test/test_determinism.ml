@@ -13,6 +13,7 @@
 module Kernel = Sunos_kernel.Kernel
 module S = Sunos_workloads.Net_server
 module Db = Sunos_workloads.Database
+module KV = Sunos_workloads.Kv_store
 
 type probe = {
   tag_digest : string;
@@ -73,6 +74,25 @@ let db_probe () =
        p);
   Option.get !out
 
+let kv_probe ~procs () =
+  let p =
+    {
+      KV.default_params with
+      server_procs = procs;
+      shards = 4;
+      clients = 6;
+      requests_per_client = 4;
+      workers_per_server = 3;
+      think_time_us = 500;
+    }
+  in
+  let out = ref None in
+  ignore
+    (KV.run ~cpus:2 ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
 let print_goldens () =
   let show name p =
     Printf.printf
@@ -80,7 +100,8 @@ let print_goldens () =
       p.tag_digest p.tag_count p.dispatches p.preemptions
   in
   show "net" (net_probe ());
-  show "db" (db_probe ())
+  show "db" (db_probe ());
+  show "kv" (kv_probe ~procs:2 ())
 
 (* --- recorded goldens (pre-rewrite dispatcher, fixed seeds) ----------- *)
 
@@ -100,6 +121,15 @@ let golden_db =
     preemptions = 0;
   }
 
+(* Recorded when the kv store landed (process-shared synchronization). *)
+let golden_kv =
+  {
+    tag_digest = "3078f6e4f062459f550fc3c01a64eedf";
+    tag_count = 473;
+    dispatches = 190;
+    preemptions = 17;
+  }
+
 let check name golden actual =
   Alcotest.(check string)
     (name ^ " trace tag digest") golden.tag_digest actual.tag_digest;
@@ -112,6 +142,17 @@ let check name golden actual =
 
 let test_net () = check "net-server" golden_net (net_probe ())
 let test_db () = check "database" golden_db (db_probe ())
+let test_kv () = check "kv-store" golden_kv (kv_probe ~procs:2 ())
+
+(* The kv store forks server processes and synchronizes them through a
+   shared segment; same-seed runs must stay bit-identical at any process
+   count — more processes change the schedule, never make it random. *)
+let test_kv_run_to_run () =
+  List.iter
+    (fun procs ->
+      let a = kv_probe ~procs () and b = kv_probe ~procs () in
+      check (Printf.sprintf "kv procs=%d run-to-run" procs) a b)
+    [ 2; 3 ]
 
 let () =
   if Sys.getenv_opt "SUNOS_PRINT_GOLDENS" <> None then print_goldens ()
@@ -122,5 +163,8 @@ let () =
           [
             Alcotest.test_case "net-server same-seed" `Quick test_net;
             Alcotest.test_case "database same-seed" `Quick test_db;
+            Alcotest.test_case "kv-store same-seed" `Quick test_kv;
+            Alcotest.test_case "kv-store run-to-run x procs" `Quick
+              test_kv_run_to_run;
           ] );
       ]
