@@ -17,16 +17,28 @@ val boot :
   ?seed:int64 ->
   ?trace_capacity:int ->
   ?chaos:Sunos_sim.Faultgen.profile ->
+  ?domains:int ->
   unit ->
   t
 (** Build a machine and boot a kernel on it.  [chaos] selects the fault
-    injection profile (default: [SUNOS_CHAOS] env, else off). *)
+    injection profile (default: [SUNOS_CHAOS] env, else off);
+    [domains] the worker-domain count for offloaded compute (default:
+    [SUNOS_DOMAINS] env, else 1 — no workers).  Simulated results are
+    bit-identical for every [domains] value; see
+    {!Sunos_sim.Parexec}. *)
 
 val boot_on : Sunos_hw.Machine.t -> t
 (** Boot on an existing machine. *)
 
 val machine : t -> Sunos_hw.Machine.t
 val fs : t -> Fs.t
+
+val domains : t -> int
+(** Domain count of the machine's worker pool (1 = fully inline). *)
+
+val shutdown : t -> unit
+(** Join the machine's worker pool.  Idempotent; call when done with a
+    kernel (the workload drivers do). *)
 
 val spawn : t -> name:string -> main:(unit -> unit) -> int
 (** Create a process with one LWP executing [main]; returns its pid.

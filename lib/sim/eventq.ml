@@ -1,3 +1,18 @@
+(* The event queue, sharded.
+
+   Events live in per-shard pairing heaps — shard 0 is the global
+   (kernel/device) shard; the machine gives each simulated CPU its own
+   shard for the busy/charge events that dominate event traffic.  The
+   pop order is the *global* (time, seq) total order, computed as a
+   min-merge over the shard heads, so sharding is invisible to
+   execution: any routing of events to shards fires the exact same
+   sequence as the single-heap queue did.  What sharding buys is
+   structure — per-shard frontiers (the conservative-lookahead bound a
+   parallel advance is entitled to), per-shard fired/pending stats, and
+   a cross-shard traffic count (events scheduled into a shard from
+   another shard's callback: IPIs, wakeups, shared-runq dispatch), all
+   surfaced through /proc and the parallel-scaling figure. *)
+
 type handle = {
   time : Time.t;
   seq : int;
@@ -5,15 +20,26 @@ type handle = {
   mutable cancelled : bool;
   mutable fired : bool;
   owner : t;
+  shard : int;
+}
+
+and shard = {
+  mutable heap : handle Pheap.t;
+  mutable s_live : int;
+  mutable s_cancelled : int;  (* cancelled handles still in this heap *)
+  mutable s_fired : int;
+  mutable s_xin : int;
+      (* events scheduled into this shard while another shard's event
+         was firing — the cross-shard synchronization traffic *)
 }
 
 and t = {
-  mutable heap : handle Pheap.t;
+  shards : shard array;
   mutable now : Time.t;
   mutable next_seq : int;
   mutable live : int;
-  mutable cancelled_in_heap : int;
   mutable fired_count : int;
+  mutable firing_shard : int;  (* shard of the event being fired; -1 outside *)
   mutable drain_hooks : (unit -> unit) list;
       (* fired by [run] when the queue empties; diagnostic observers
          (e.g. the thread sanitizer's hang check).  Kept in REVERSE
@@ -29,14 +55,19 @@ let cmp a b =
   let c = Time.compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () =
+let fresh_shard () =
+  { heap = Pheap.create ~cmp; s_live = 0; s_cancelled = 0; s_fired = 0;
+    s_xin = 0 }
+
+let create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Eventq.create: shards";
   {
-    heap = Pheap.create ~cmp;
+    shards = Array.init shards (fun _ -> fresh_shard ());
     now = Time.zero;
     next_seq = 0;
     live = 0;
-    cancelled_in_heap = 0;
     fired_count = 0;
+    firing_shard = -1;
     drain_hooks = [];
     run_horizon = None;
   }
@@ -45,76 +76,100 @@ let on_drain q f = q.drain_hooks <- f :: q.drain_hooks
 
 let now q = q.now
 
-let at q time action =
+let at ?(shard = 0) q time action =
   if Time.(time < q.now) then
     invalid_arg "Eventq.at: scheduling in the past";
+  if shard < 0 || shard >= Array.length q.shards then
+    invalid_arg "Eventq.at: shard";
   let h =
     { time; seq = q.next_seq; action; cancelled = false; fired = false;
-      owner = q }
+      owner = q; shard }
   in
   q.next_seq <- q.next_seq + 1;
-  Pheap.insert q.heap h;
+  let sh = q.shards.(shard) in
+  if q.firing_shard >= 0 && q.firing_shard <> shard then
+    sh.s_xin <- sh.s_xin + 1;
+  Pheap.insert sh.heap h;
+  sh.s_live <- sh.s_live + 1;
   q.live <- q.live + 1;
   h
 
-let after q d action = at q (Time.add q.now d) action
+let after ?shard q d action = at ?shard q (Time.add q.now d) action
 
-(* Rebuild the heap from its live population.  Cancellation is lazy (the
-   heap keeps cancelled handles until they surface), so a cancel-heavy
-   workload — timer re-arms, poll timeouts — would otherwise carry an
-   arbitrarily large dead population through every merge.  Compaction
-   runs when the dead outnumber the live (> ~50% of the population),
-   which keeps the heap within 2x of the live set and costs O(live)
-   amortized against the cancels that triggered it.  Pop order is
+(* Rebuild a shard's heap from its live population.  Cancellation is lazy
+   (the heap keeps cancelled handles until they surface), so a
+   cancel-heavy workload — timer re-arms, poll timeouts — would otherwise
+   carry an arbitrarily large dead population through every merge.
+   Compaction runs when a shard's dead outnumber its live (> ~50% of its
+   population), which keeps the heap within 2x of the live set and costs
+   O(live) amortized against the cancels that triggered it.  Pop order is
    unaffected: the (time, seq) key is a total order, so any heap shape
    pops the same sequence. *)
-let compact q =
+let compact sh =
   let keep =
-    List.filter (fun h -> not h.cancelled) (Pheap.to_list_unordered q.heap)
+    List.filter (fun h -> not h.cancelled) (Pheap.to_list_unordered sh.heap)
   in
-  q.heap <- Pheap.of_list ~cmp keep;
-  q.cancelled_in_heap <- 0
+  sh.heap <- Pheap.of_list ~cmp keep;
+  sh.s_cancelled <- 0
 
 let cancel h =
   if (not h.cancelled) && not h.fired then begin
     h.cancelled <- true;
     let q = h.owner in
+    let sh = q.shards.(h.shard) in
     q.live <- q.live - 1;
-    q.cancelled_in_heap <- q.cancelled_in_heap + 1;
-    if q.cancelled_in_heap > 64 && q.cancelled_in_heap > q.live then compact q
+    sh.s_live <- sh.s_live - 1;
+    sh.s_cancelled <- sh.s_cancelled + 1;
+    if sh.s_cancelled > 64 && sh.s_cancelled > sh.s_live then compact sh
   end
 
 let is_pending h = (not h.cancelled) && not h.fired
 
-(* Lazy deletion: cancelled events that reach the heap top are skipped
-   when popped (compaction bounds how many can be in flight). *)
-let rec run_one q =
-  match Pheap.pop_min q.heap with
-  | None -> false
-  | Some h ->
-      if h.cancelled then begin
-        q.cancelled_in_heap <- q.cancelled_in_heap - 1;
-        run_one q
-      end
-      else begin
-        q.now <- h.time;
-        h.fired <- true;
-        q.live <- q.live - 1;
-        q.fired_count <- q.fired_count + 1;
-        h.action ();
-        true
-      end
-
-let rec peek_live q =
-  match Pheap.peek_min q.heap with
+(* Live head of one shard; cancelled events that surface are dropped
+   (lazy deletion — compaction bounds how many can be in flight). *)
+let rec shard_peek sh =
+  match Pheap.peek_min sh.heap with
   | None -> None
   | Some h ->
       if h.cancelled then begin
-        ignore (Pheap.pop_min q.heap);
-        q.cancelled_in_heap <- q.cancelled_in_heap - 1;
-        peek_live q
+        ignore (Pheap.pop_min sh.heap);
+        sh.s_cancelled <- sh.s_cancelled - 1;
+        shard_peek sh
       end
       else Some h
+
+(* The global head: min-merge over the shard heads by (time, seq).  The
+   shard count is the CPU count plus one, so the scan is a handful of
+   O(1) peeks per pop. *)
+let peek_live q =
+  let best = ref None in
+  Array.iter
+    (fun sh ->
+      match shard_peek sh with
+      | None -> ()
+      | Some h -> (
+          match !best with
+          | Some b when cmp b h <= 0 -> ()
+          | _ -> best := Some h))
+    q.shards;
+  !best
+
+let run_one q =
+  match peek_live q with
+  | None -> false
+  | Some h ->
+      let sh = q.shards.(h.shard) in
+      ignore (Pheap.pop_min sh.heap) (* [h]: shard_peek cleaned the top *);
+      q.now <- h.time;
+      h.fired <- true;
+      sh.s_live <- sh.s_live - 1;
+      sh.s_fired <- sh.s_fired + 1;
+      q.live <- q.live - 1;
+      q.fired_count <- q.fired_count + 1;
+      q.firing_shard <- h.shard;
+      h.action ();
+      q.firing_shard <- -1;
+      true
 
 (* Earliest instant at which anything can happen: the first live event,
    clamped to the horizon of the [run] currently draining us.  [None]
@@ -152,8 +207,7 @@ let run ?until ?max_events q =
   loop ();
   (* If we stopped on the horizon with an empty queue, still advance. *)
   (match until with
-  | Some horizon when Pheap.is_empty q.heap && Time.(q.now < horizon) ->
-      q.now <- horizon
+  | Some horizon when q.live = 0 && Time.(q.now < horizon) -> q.now <- horizon
   | _ -> ());
   (* Queue drained (not horizon- or budget-limited): let observers look
      at the stalled machine.  A hook may schedule new events; we do not
@@ -164,5 +218,20 @@ let run ?until ?max_events q =
 (* [live] is exact: cancels decrement it immediately. *)
 let pending_count q = q.live
 
-let heap_population q = Pheap.size q.heap
+let heap_population q =
+  Array.fold_left (fun acc sh -> acc + Pheap.size sh.heap) 0 q.shards
+
 let events_fired q = q.fired_count
+
+(* --- per-shard introspection (procfs, parallel-scaling figure) -------- *)
+
+let shard_count q = Array.length q.shards
+
+(* A shard's frontier: the earliest instant anything can happen *in that
+   shard* — its conservative-lookahead bound.  [None]: shard empty, no
+   bound of its own. *)
+let shard_next_time q i = Option.map (fun h -> h.time) (shard_peek q.shards.(i))
+
+let shard_pending q i = q.shards.(i).s_live
+let shard_fired q i = q.shards.(i).s_fired
+let shard_cross_in q i = q.shards.(i).s_xin

@@ -1,0 +1,279 @@
+(* Worker-domain pool for offloaded compute.
+
+   The simulation engine stays a single coordinator domain: every event
+   fires there, in (time, seq) order, so kernel state never sees real
+   concurrency and determinism is structural.  What parallelizes is the
+   *real* CPU work inside a simulated compute phase: a workload hands
+   the kernel a pure thunk together with its simulated cost
+   ({!Sunos_kernel.Uctx.offload}); the kernel launches the thunk here
+   and accounts the cost through the ordinary busy-event machinery.  By
+   the time the charge completes in simulated time the thunk must have
+   completed in real time — [await] enforces that, stealing the task
+   inline if no worker picked it up yet.
+
+   Layout: one SPSC ring per worker domain ({!Spsc}).  The coordinator
+   is the only producer on every lane, each worker the only consumer of
+   its own lane, so handoff is lock-free both ways.  Tasks are claimed
+   by a state CAS (pending -> running -> done); the claim is what makes
+   inline stealing race-free — whoever wins the CAS runs the thunk,
+   the other side waits on the done flag (awaits of still-pending tasks
+   steal rather than wait, so a sleeping worker can never stall the
+   coordinator).  Idle waits block rather than burn: an idle worker
+   parks on a condition after a short spin, and an await of a mid-flight
+   task parks on the retire signal — so a pool wider than the real
+   machine degrades to sequential speed instead of thrashing it.
+
+   Determinism: simulated results depend only on the thunk's own output
+   and its declared cost, never on which domain ran it or when — the
+   pool is execution resources, not semantics.  Same seed, any domain
+   count, bit-identical run. *)
+
+type task = {
+  run : unit -> unit;
+  state : int Atomic.t;  (* 0 pending / 1 running / 2 done *)
+  t_time : Time.t;  (* simulated completion instant (lane frontier) *)
+  t_lane : int;  (* -1 when executed inline with no pool *)
+}
+
+type lane = {
+  ring : task Spsc.t;
+  frontier : Time.t Atomic.t;
+      (* latest simulated completion instant this lane has retired;
+         the per-shard committed-time the procfs stats expose *)
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  stalls : int Atomic.t;  (* awaits that had to wait on (or steal) a task *)
+  overflows : int Atomic.t;  (* ring-full submits run inline instead *)
+}
+
+type t = {
+  nworkers : int;
+  lanes : lane array;
+  mutable workers : unit Domain.t array;
+  stop : bool Atomic.t;
+  joined : bool Atomic.t;
+  (* Parking, for machines with fewer real cores than domains: an idle
+     worker spins briefly then blocks on [work_cond]; a coordinator
+     awaiting a mid-flight task blocks on [done_cond].  The counters
+     implement the classic flag/check handshake — the waiter registers
+     (SC increment) before re-checking its predicate, the signaller
+     updates the predicate before reading the counter, so sequential
+     consistency guarantees at least one side sees the other and no
+     wakeup is lost. *)
+  mu : Stdlib.Mutex.t;
+  work_cond : Stdlib.Condition.t;
+  done_cond : Stdlib.Condition.t;
+  sleepers : int Atomic.t;  (* workers parked on work_cond *)
+  awaiters : int Atomic.t;  (* coordinators parked on done_cond *)
+}
+
+let frontier_raise lane time =
+  let rec go () =
+    let cur = Atomic.get lane.frontier in
+    if Time.(time > cur) && not (Atomic.compare_and_set lane.frontier cur time)
+    then go ()
+  in
+  go ()
+
+(* Run a claimed task to completion and publish it. *)
+let finish pool task =
+  task.run ();
+  Atomic.set task.state 2;
+  if task.t_lane >= 0 then begin
+    let lane = pool.lanes.(task.t_lane) in
+    Atomic.incr lane.completed;
+    frontier_raise lane task.t_time
+  end;
+  if Atomic.get pool.awaiters > 0 then begin
+    Stdlib.Mutex.lock pool.mu;
+    Stdlib.Condition.broadcast pool.done_cond;
+    Stdlib.Mutex.unlock pool.mu
+  end
+
+let exec pool task =
+  if Atomic.compare_and_set task.state 0 1 then finish pool task
+
+let worker pool i () =
+  let lane = pool.lanes.(i) in
+  let rec loop spins =
+    match Spsc.try_pop lane.ring with
+    | Some task ->
+        exec pool task;
+        loop 0
+    | None ->
+        if not (Atomic.get pool.stop) then
+          if spins < 64 then begin
+            Domain.cpu_relax ();
+            loop (spins + 1)
+          end
+          else begin
+            (* park: register, then re-check the ring under the lock so a
+               concurrent submit either sees the sleeper or we see its
+               push *)
+            Atomic.incr pool.sleepers;
+            Stdlib.Mutex.lock pool.mu;
+            while Spsc.is_empty lane.ring && not (Atomic.get pool.stop) do
+              Stdlib.Condition.wait pool.work_cond pool.mu
+            done;
+            Stdlib.Mutex.unlock pool.mu;
+            Atomic.decr pool.sleepers;
+            loop 0
+          end
+        (* stop is only set after the coordinator stops producing, so an
+           empty ring under [stop] is empty for good *)
+  in
+  loop 0
+
+(* Pools must be joined before process exit (the runtime waits for every
+   domain); workload drivers shut down eagerly, and the registry catches
+   any machine a test forgot. *)
+let registry : t list ref = ref []
+let registry_mu = Stdlib.Mutex.create ()
+
+let shutdown pool =
+  if not (Atomic.exchange pool.joined true) then begin
+    Atomic.set pool.stop true;
+    Stdlib.Mutex.lock pool.mu;
+    Stdlib.Condition.broadcast pool.work_cond;
+    Stdlib.Mutex.unlock pool.mu;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||];
+    Stdlib.Mutex.lock registry_mu;
+    registry := List.filter (fun p -> p != pool) !registry;
+    Stdlib.Mutex.unlock registry_mu
+  end
+
+let () = Stdlib.at_exit (fun () -> List.iter shutdown !registry)
+
+let ring_size = 64
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Parexec.create: domains";
+  let nworkers = domains - 1 in
+  let lanes =
+    Array.init nworkers (fun _ ->
+        {
+          ring = Spsc.create ~size:ring_size;
+          frontier = Atomic.make Time.zero;
+          submitted = Atomic.make 0;
+          completed = Atomic.make 0;
+          stalls = Atomic.make 0;
+          overflows = Atomic.make 0;
+        })
+  in
+  let pool =
+    { nworkers; lanes; workers = [||]; stop = Atomic.make false;
+      joined = Atomic.make false; mu = Stdlib.Mutex.create ();
+      work_cond = Stdlib.Condition.create ();
+      done_cond = Stdlib.Condition.create ();
+      sleepers = Atomic.make 0; awaiters = Atomic.make 0 }
+  in
+  pool.workers <- Array.init nworkers (fun i -> Domain.spawn (worker pool i));
+  if nworkers > 0 then begin
+    Stdlib.Mutex.lock registry_mu;
+    registry := pool :: !registry;
+    Stdlib.Mutex.unlock registry_mu
+  end;
+  pool
+
+let domains pool = pool.nworkers + 1
+
+(* Submit a pure thunk with its simulated completion instant; lanes are
+   keyed by simulated CPU so one CPU's offloads stay in order. *)
+let submit pool ~lane ~time run =
+  if pool.nworkers = 0 then begin
+    (* no pool: the offload degenerates to inline execution at launch,
+       i.e. exactly the pre-parallel engine *)
+    let task = { run; state = Atomic.make 2; t_time = time; t_lane = -1 } in
+    run ();
+    task
+  end
+  else begin
+    let li = lane mod pool.nworkers in
+    let l = pool.lanes.(li) in
+    let task = { run; state = Atomic.make 0; t_time = time; t_lane = li } in
+    Atomic.incr l.submitted;
+    if not (Spsc.try_push l.ring task) then begin
+      Atomic.incr l.overflows;
+      exec pool task
+    end
+    else if Atomic.get pool.sleepers > 0 then begin
+      Stdlib.Mutex.lock pool.mu;
+      Stdlib.Condition.broadcast pool.work_cond;
+      Stdlib.Mutex.unlock pool.mu
+    end;
+    task
+  end
+
+(* Block (the coordinator) until [task] has completed.  A still-pending
+   task is stolen and run inline — the coordinator never waits on a
+   worker that hasn't started; a running one is spun on briefly (the
+   thunk is already mid-flight on another domain, and offload thunks are
+   short), then parked on the retire signal — on a machine with fewer
+   real cores than domains, spinning here would steal the timeslice of
+   the very worker being waited for. *)
+let await pool task =
+  match Atomic.get task.state with
+  | 2 -> ()
+  | _ ->
+      if task.t_lane >= 0 then
+        Atomic.incr pool.lanes.(task.t_lane).stalls;
+      if Atomic.compare_and_set task.state 0 1 then finish pool task
+      else begin
+        let spins = ref 0 in
+        while Atomic.get task.state <> 2 && !spins < 256 do
+          Domain.cpu_relax ();
+          incr spins
+        done;
+        if Atomic.get task.state <> 2 then begin
+          Atomic.incr pool.awaiters;
+          Stdlib.Mutex.lock pool.mu;
+          while Atomic.get task.state <> 2 do
+            Stdlib.Condition.wait pool.done_cond pool.mu
+          done;
+          Stdlib.Mutex.unlock pool.mu;
+          Atomic.decr pool.awaiters
+        end
+      end
+
+let is_done task = Atomic.get task.state = 2
+
+type lane_stats = {
+  ls_submitted : int;
+  ls_completed : int;
+  ls_stalls : int;
+  ls_overflows : int;
+  ls_frontier : Time.t;
+}
+
+let lane_stats pool =
+  Array.map
+    (fun l ->
+      {
+        ls_submitted = Atomic.get l.submitted;
+        ls_completed = Atomic.get l.completed;
+        ls_stalls = Atomic.get l.stalls;
+        ls_overflows = Atomic.get l.overflows;
+        ls_frontier = Atomic.get l.frontier;
+      })
+    pool.lanes
+
+(* SUNOS_DOMAINS selects the default domain count (1 = today's engine). *)
+let default_domains () =
+  match Stdlib.Sys.getenv_opt "SUNOS_DOMAINS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> 1
+
+(* Deterministic busy-work kernel for workload compute phases: an FNV-1a
+   style mix over the iteration counter.  Pure, allocation-free, and a
+   function of [n] and [seed] alone — offloading it to any domain yields
+   the same value, which is what lets real parallel execution hide under
+   a bit-identical simulation. *)
+let spin ~seed n =
+  let h = ref (0x811c9dc5 lxor seed) in
+  for i = 1 to n do
+    h := (!h lxor (i land 0xff)) * 0x01000193 land 0x3fffffff
+  done;
+  !h

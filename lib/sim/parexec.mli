@@ -1,0 +1,62 @@
+(** Worker-domain pool for offloaded compute.
+
+    The simulation advances on one coordinator domain — every event
+    fires there, in (time, seq) order, so determinism is structural.
+    What runs in parallel is the {e real} CPU work inside simulated
+    compute phases: pure thunks submitted here with their simulated
+    cost, executed on [domains - 1] worker domains while the
+    coordinator keeps firing other shards' events, and awaited before
+    the charge's continuation resumes.  Handoff is one {!Spsc} ring per
+    worker; completion is a claim CAS, so an unstarted task can always
+    be stolen and run inline by the awaiting coordinator (no deadlock,
+    no unbounded wait).
+
+    Simulated results never depend on which domain ran a thunk: the
+    pool is execution resources, not semantics.  [domains = 1] runs
+    every thunk inline at submit — exactly the pre-parallel engine. *)
+
+type t
+
+type task
+
+val create : domains:int -> t
+(** Spawns [domains - 1] worker domains ([domains >= 1]).  Pools must be
+    {!shutdown} (workload drivers do this eagerly; an [at_exit] sweep
+    catches stragglers so a forgotten pool can never hang exit). *)
+
+val shutdown : t -> unit
+(** Drain, stop and join the workers.  Idempotent. *)
+
+val domains : t -> int
+
+val submit : t -> lane:int -> time:Time.t -> (unit -> unit) -> task
+(** Hand a pure thunk to lane [lane mod (domains - 1)] with simulated
+    completion instant [time].  The thunk must not touch simulation
+    state — its only outputs are its own closure cells.  Runs inline
+    when there are no workers or the lane's ring is full. *)
+
+val await : t -> task -> unit
+(** Ensure the task has completed: steal-and-run it if still pending,
+    spin briefly if mid-flight on a worker, return immediately if done. *)
+
+val is_done : task -> bool
+
+type lane_stats = {
+  ls_submitted : int;
+  ls_completed : int;
+  ls_stalls : int;  (** awaits that found the task unfinished *)
+  ls_overflows : int;  (** ring-full submits executed inline *)
+  ls_frontier : Time.t;  (** latest simulated instant the lane retired *)
+}
+
+val lane_stats : t -> lane_stats array
+(** One entry per worker domain (empty when [domains = 1]). *)
+
+val default_domains : unit -> int
+(** The [SUNOS_DOMAINS] environment knob; 1 (today's engine) when unset
+    or unparsable. *)
+
+val spin : seed:int -> int -> int
+(** Deterministic allocation-free busy-work kernel (FNV-style mix over
+    the iteration counter): the real work that workload compute phases
+    offload.  A pure function of [seed] and [n]. *)

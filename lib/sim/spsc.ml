@@ -1,0 +1,72 @@
+(* Bounded single-producer/single-consumer ring.
+
+   The inter-domain handoff primitive under {!Parexec}: the coordinator
+   domain (sole producer per lane) publishes offloaded compute tasks to
+   one worker domain (sole consumer).  Lock-free in the classic ring
+   idiom: the producer owns [tail], the consumer owns [head], and each
+   side reads the other's index with an acquire load.  A slot's payload
+   is written plainly and then published by the index bump (release
+   store), so the consumer's acquire of [tail] establishes the
+   happens-before edge that makes the plain payload read race-free
+   under the OCaml 5 memory model.
+
+   Capacity is rounded up to a power of two so the index masks are a
+   single [land].  Indices grow monotonically (they wrap the ring via
+   the mask, not via modulo reset), so full/empty tests are plain
+   subtraction and immune to ABA. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next slot to consume; owned by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; owned by the producer *)
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Spsc.create: size";
+  let cap =
+    let c = ref 1 in
+    while !c < size do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    buf = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity q = q.mask + 1
+
+(* Producer side.  [false] when the ring is full — the caller falls back
+   to running the task inline (safe: tasks are pure closures). *)
+let try_push q v =
+  let tail = Atomic.get q.tail in
+  let head = Atomic.get q.head in
+  if tail - head > q.mask then false
+  else begin
+    q.buf.(tail land q.mask) <- Some v;
+    (* release: publishes the slot write above *)
+    Atomic.set q.tail (tail + 1);
+    true
+  end
+
+(* Consumer side. *)
+let try_pop q =
+  let head = Atomic.get q.head in
+  let tail = Atomic.get q.tail in
+  if tail - head <= 0 then None
+  else begin
+    let slot = head land q.mask in
+    let v = q.buf.(slot) in
+    (* drop the reference so the payload doesn't outlive its consumption
+       by a full ring revolution *)
+    q.buf.(slot) <- None;
+    Atomic.set q.head (head + 1);
+    v
+  end
+
+let length q = max 0 (Atomic.get q.tail - Atomic.get q.head)
+let is_empty q = length q = 0

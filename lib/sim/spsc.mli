@@ -1,0 +1,25 @@
+(** Bounded single-producer/single-consumer lock-free ring.
+
+    The inter-domain handoff queue under {!Parexec}: exactly one domain
+    may push (the coordinator) and exactly one may pop (the lane's
+    worker).  Payload slots are plain; publication happens through the
+    release/acquire index pair, per the OCaml 5 memory model. *)
+
+type 'a t
+
+val create : size:int -> 'a t
+(** Capacity is rounded up to the next power of two. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only.  [false] when full (caller handles overflow, e.g. by
+    running the task inline). *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only. *)
+
+val length : 'a t -> int
+(** Racy snapshot; exact only from one of the two owning domains. *)
+
+val is_empty : 'a t -> bool

@@ -13,7 +13,9 @@
 
    Under chaos [proc-kill], a server dies at a syscall boundary — by
    construction often inside a shard critical section (the batched flush
-   syscalls run with the write lock held).  The robust-lock protocol
+   syscalls run holding the shard lock: the write side under the legacy
+   [flush_under_write] placement, the read side after the default
+   downgrade).  The robust-lock protocol
    then marks the shard lock OWNERDEAD; the next acquirer from a
    surviving server repairs the shard (re-flushes the dirty list, which
    is idempotent, and reconciles the torn epoch) instead of the whole
@@ -31,6 +33,7 @@ module Hist = Sunos_sim.Stats.Hist
 module Rng = Sunos_sim.Rng
 module Univ = Sunos_sim.Univ
 module Shm = Sunos_hw.Shared_memory
+module Parexec = Sunos_sim.Parexec
 module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
 module Errno = Sunos_kernel.Errno
@@ -63,6 +66,15 @@ type params = {
   request_deadline_us : int;
   client_lwps : int;  (* 0 = one LWP per client *)
   robust : bool;  (* robust shard locks (required under proc-kill) *)
+  flush_under_write : bool;
+      (* legacy flush placement: run the batched disk write with the
+         shard WRITE lock held, so every get queues behind the flush —
+         the p99 tail the default (downgrade-to-reader) placement
+         removes.  Kept for the bench contrast *)
+  work_spin : int;
+      (* iterations of real busy-work ([Parexec.spin]) behind each
+         serve compute phase, offloaded to the worker-domain pool.
+         0 (default): compute is purely simulated *)
   seed : int64;
 }
 
@@ -87,6 +99,8 @@ let default_params =
     request_deadline_us = 100_000;
     client_lwps = 0;
     robust = true;
+    flush_under_write = false;
+    work_spin = 0;
     seed = 47L;
   }
 
@@ -250,6 +264,21 @@ let server p ctl ~idx ~assigned ~counters () =
         | Rwlock.Reader -> Rwlock.downgrade locks.(s)
         | Rwlock.Writer -> ())
   in
+  (* serve-side compute: simulated always; with real busy-work behind it
+     (offloaded to the worker-domain pool) when [work_spin] > 0.  The
+     thunk writes only its own cell; the fold into [spin_sink] happens
+     fiber-side, after the await, in simulated order. *)
+  let spin_sink = ref 0 in
+  let compute_us ~salt us =
+    if p.work_spin > 0 then begin
+      let cell = ref 0 in
+      Uctx.offload ~cost:(Time.us us) (fun () ->
+          cell := Parexec.spin ~seed:salt p.work_spin);
+      spin_sink := !spin_sink lxor !cell
+    end
+    else Uctx.charge_us us
+  in
+  ignore (spin_sink : int ref);
   let cache_insert sd key v =
     if not (Hashtbl.mem sd.cache key) then begin
       sd.lru <- key :: sd.lru;
@@ -269,7 +298,7 @@ let server p ctl ~idx ~assigned ~counters () =
     let sd = shards.(s) in
     if Hashtbl.mem sd.cache key then begin
       incr cache_hits;
-      Uctx.charge_us 5;
+      compute_us ~salt:key 5;
       Rwlock.exit locks.(s)
     end
     else begin
@@ -278,7 +307,7 @@ let server p ctl ~idx ~assigned ~counters () =
       Rwlock.exit locks.(s);
       lock_shard s Rwlock.Writer;
       Uctx.touch fileseg ~offset:(file_off s);
-      Uctx.charge_us (5 + (p.value_bytes / 32));
+      compute_us ~salt:key (5 + (p.value_bytes / 32));
       cache_insert sd key (Printf.sprintf "v%d" key);
       Rwlock.exit locks.(s)
     end
@@ -290,10 +319,31 @@ let server p ctl ~idx ~assigned ~counters () =
     sd.epoch_start <- sd.epoch_start + 1;
     cache_insert sd key v;
     sd.dirty <- (key, v) :: sd.dirty;
-    Uctx.charge_us (5 + (p.value_bytes / 32));
-    if List.length sd.dirty >= p.batch then flush_shard s sd;
+    compute_us ~salt:key (5 + (p.value_bytes / 32));
+    (* The put's mutation is complete: close the epoch BEFORE any flush,
+       so a server killed mid-flush no longer presents a torn epoch —
+       the dirty list alone carries the recovery (re-flush is
+       idempotent: entries keep their values until the write returns). *)
     sd.epoch_done <- sd.epoch_done + 1;
-    Rwlock.exit locks.(s);
+    if List.length sd.dirty >= p.batch then
+      if p.flush_under_write then begin
+        (* legacy placement: the disk write runs with the write lock
+           held and every reader on the shard queues behind it *)
+        flush_shard s sd;
+        Rwlock.exit locks.(s)
+      end
+      else begin
+        (* Drop to the read side for the flush: gets proceed during the
+           disk write, while writers stay excluded — nobody can mutate
+           [dirty] under us, and the writer-held invariants of
+           OWNERDEAD repair are untouched (a dead reader's hold is
+           simply dropped; the intact dirty list makes the next flush
+           redo the work). *)
+        Rwlock.downgrade locks.(s);
+        flush_shard s sd;
+        Rwlock.exit locks.(s)
+      end
+    else Rwlock.exit locks.(s);
     incr server_applied
   in
   (* frame dispatch: "G <key>" / "P <key> <n>" *)
@@ -536,10 +586,10 @@ let loadgen p ~latency ~tallies ~gaveup_per () =
 
 (* --- the run ----------------------------------------------------------- *)
 
-let run ?(cpus = 2) ?cost ?chaos ?(trace = false) ?debrief p =
+let run ?(cpus = 2) ?cost ?chaos ?domains ?(trace = false) ?debrief p =
   if p.server_procs < 1 || p.shards < 1 || p.clients < 1 then
     invalid_arg "Kv_store.run: params";
-  let k = Kernel.boot ~cpus ?cost ?chaos () in
+  let k = Kernel.boot ~cpus ?cost ?chaos ?domains () in
   if not trace then Kernel.set_tracing k false;
   (match Fs.create_file (Kernel.fs k) ~path:kv_path () with
   | Ok f ->
@@ -620,6 +670,7 @@ let run ?(cpus = 2) ?cost ?chaos ?(trace = false) ?debrief p =
             (finishing (loadgen p ~latency ~tallies ~gaveup_per))));
   Kernel.run k;
   (match debrief with Some f -> f k | None -> ());
+  Kernel.shutdown k;
   let gets_issued = !gets_ok + !gets_shed + !gets_aborted in
   let puts_issued = !puts_applied + !puts_shed + !puts_aborted in
   ignore gets_issued;

@@ -53,6 +53,20 @@ type params = {
   client_lwps : int;  (** load-generator LWP pool (0 = one per client) *)
   robust : bool;
       (** robust shard locks; required for recovery under proc-kill *)
+  flush_under_write : bool;
+      (** legacy flush placement: run the batched disk write with the
+          shard {e write} lock held, so every get on the shard queues
+          behind the flush and the tail latency carries the disk time.
+          [false] (default): the writer downgrades to the read side
+          before flushing — gets proceed during the disk write, writers
+          stay excluded, and OWNERDEAD re-flush idempotence is
+          untouched (the dirty list is cleared only after the write
+          returns).  Kept for the bench tail-latency contrast. *)
+  work_spin : int;
+      (** iterations of {e real} busy-work ({!Sunos_sim.Parexec.spin})
+          behind each serve compute phase, offloaded to the machine's
+          worker-domain pool.  0 (default): compute is purely
+          simulated.  Bit-identical schedule for any domain count. *)
   seed : int64;
 }
 
@@ -92,10 +106,13 @@ val run :
   ?cpus:int ->
   ?cost:Sunos_hw.Cost_model.t ->
   ?chaos:Sunos_sim.Faultgen.profile ->
+  ?domains:int ->
   ?trace:bool ->
   ?debrief:(Sunos_kernel.Kernel.t -> unit) ->
   params ->
   results
-(** [chaos], [trace] and [debrief] as in {!Net_server.run}. *)
+(** [chaos], [trace] and [debrief] as in {!Net_server.run}; [domains]
+    as in {!Sunos_kernel.Kernel.boot} (the pool is joined before the
+    results are returned). *)
 
 val pp_results : Format.formatter -> results -> unit

@@ -2,6 +2,7 @@ module Time = Sunos_sim.Time
 module Hist = Sunos_sim.Stats.Hist
 module Rng = Sunos_sim.Rng
 module Shm = Sunos_hw.Shared_memory
+module Parexec = Sunos_sim.Parexec
 module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
 module Errno = Sunos_kernel.Errno
@@ -18,6 +19,11 @@ type params = {
   think_time_us : int;
   connect_stagger_us : int;
   compute_steps : int;
+  work_spin : int;
+      (* iterations of real busy-work ([Parexec.spin]) behind each
+         compute phase, offloaded to the machine's worker-domain pool.
+         0 (default): compute is purely simulated.  The simulated
+         schedule is identical either way *)
   disk_every : int;
   workers : int;
   concurrency : int;
@@ -42,6 +48,7 @@ let default_params =
     think_time_us = 2_000;
     connect_stagger_us = 0;
     compute_steps = 1;
+    work_spin = 0;
     disk_every = 4;
     workers = 8;
     concurrency = 4;
@@ -111,7 +118,18 @@ let server (module M : Sunos_baselines.Model.S) k p
      requested, so default runs are charge-for-charge identical. *)
   let stats_mu = if p.compute_steps > 1 then Some (M.Mu.create ()) else None in
   let stats_ops = ref 0 in
+  let spin_sink = ref 0 in
   let compute_phase us =
+    if p.work_spin > 0 then begin
+      (* real work behind the simulated span: the thunk writes only its
+         own cell; the fold into [spin_sink] happens fiber-side, after
+         the await, in simulated order *)
+      let cell = ref 0 in
+      Uctx.offload ~cost:(Time.us us) (fun () ->
+          cell := Parexec.spin ~seed:us p.work_spin);
+      spin_sink := !spin_sink lxor !cell
+    end
+    else
     match stats_mu with
     | None -> Uctx.charge_us us
     | Some smu ->
@@ -126,6 +144,7 @@ let server (module M : Sunos_baselines.Model.S) k p
         done
   in
   ignore (stats_ops : int ref);
+  ignore (spin_sink : int ref);
   let qsem = M.Sem.create 0 in
   let asem = M.Sem.create 0 in
   let workq : job Queue.t = Queue.create () in
@@ -464,8 +483,8 @@ let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~shed
   done
 
 let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?chaos
-    ?(trace = false) ?debrief p =
-  let k = Kernel.boot ~cpus ?cost ?chaos () in
+    ?domains ?(trace = false) ?debrief p =
+  let k = Kernel.boot ~cpus ?cost ?chaos ?domains () in
   if not trace then Kernel.set_tracing k false;
   (match Fs.create_file (Kernel.fs k) ~path:data_path () with
   | Ok f ->
@@ -497,6 +516,7 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?chaos
   (* [debrief] runs against the still-live kernel: determinism tests read
      counters and the trace ring before the results are boxed up *)
   (match debrief with Some f -> f k | None -> ());
+  Kernel.shutdown k;
   {
     served = !served;
     shed = !shed;

@@ -1,0 +1,222 @@
+(* Parallel-engine determinism: the simulated outcome must be a pure
+   function of the seed — never of how many real domains execute it.
+
+   Each workload runs with [work_spin] > 0 so every compute phase
+   carries real busy-work offloaded to the worker pool; across
+   domains in {1, 2, 4} the trace tag digest, the dispatch/preemption
+   counters AND the per-LWP /proc utime/stime tables must be
+   bit-identical.  A chaos (network-heavy) run is held to the same
+   standard at domains = 2: fault injection draws from its own
+   deterministic stream, so it composes with the pool like everything
+   else.  Finally the pool and shard counters themselves are sanity
+   checked: every submitted task completed, and per-shard fired counts
+   add up to the queue total. *)
+
+module Kernel = Sunos_kernel.Kernel
+module Procfs = Sunos_kernel.Procfs
+module Machine = Sunos_hw.Machine
+module Eventq = Sunos_sim.Eventq
+module Parexec = Sunos_sim.Parexec
+module Faultgen = Sunos_sim.Faultgen
+module S = Sunos_workloads.Net_server
+module Db = Sunos_workloads.Database
+module KV = Sunos_workloads.Kv_store
+
+let domain_counts = [ 1; 2; 4 ]
+
+type probe = {
+  tag_digest : string;
+  tag_count : int;
+  dispatches : int;
+  preemptions : int;
+  lwp_times : string;  (* rendered per-LWP /proc utime/stime table *)
+}
+
+let probe_of_kernel k =
+  let tags =
+    List.map (fun r -> r.Sunos_sim.Tracebuf.tag) (Kernel.trace_records k)
+  in
+  let lwp_times =
+    Procfs.snapshot k
+    |> List.concat_map (fun pi ->
+           List.map
+             (fun li ->
+               Printf.sprintf "pid%d/lwp%d u=%Ld s=%Ld" pi.Procfs.pi_pid
+                 li.Procfs.li_lwpid li.Procfs.li_utime li.Procfs.li_stime)
+             pi.Procfs.pi_lwps)
+    |> String.concat "\n"
+  in
+  {
+    tag_digest = Digest.to_hex (Digest.string (String.concat "," tags));
+    tag_count = List.length tags;
+    dispatches = Kernel.dispatch_count k;
+    preemptions = Kernel.preemption_count k;
+    lwp_times;
+  }
+
+let check name (a : probe) (b : probe) =
+  Alcotest.(check string) (name ^ " trace tag digest") a.tag_digest b.tag_digest;
+  Alcotest.(check int) (name ^ " trace tag count") a.tag_count b.tag_count;
+  Alcotest.(check int) (name ^ " dispatches") a.dispatches b.dispatches;
+  Alcotest.(check int) (name ^ " preemptions") a.preemptions b.preemptions;
+  Alcotest.(check string) (name ^ " per-LWP utime/stime") a.lwp_times b.lwp_times
+
+let across_domains name run =
+  match List.map (fun d -> (d, run ~domains:d)) domain_counts with
+  | [] | [ _ ] -> assert false
+  | (_, base) :: rest ->
+      List.iter
+        (fun (d, p) -> check (Printf.sprintf "%s domains=%d" name d) base p)
+        rest
+
+(* --- workload probes (all with real offloaded work) ------------------- *)
+
+let net_probe ~domains =
+  let p =
+    {
+      S.default_params with
+      connections = 12;
+      requests_per_conn = 2;
+      think_time_us = 20_000;
+      connect_stagger_us = 500;
+      disk_every = 8;
+      workers = 4;
+      concurrency = 4;
+      client_concurrency = 12;
+      listen_backlog = 32;
+      work_spin = 500;
+    }
+  in
+  let out = ref None in
+  ignore
+    (S.run
+       (module Sunos_baselines.Mt)
+       ~cpus:2 ~domains ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
+let db_probe ~domains =
+  let p =
+    {
+      Db.default_params with
+      processes = 2;
+      threads_per_process = 4;
+      records = 16;
+      transactions_per_thread = 10;
+      work_spin = 500;
+    }
+  in
+  let out = ref None in
+  ignore
+    (Db.run ~cpus:2 ~domains ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
+let kv_probe ~domains =
+  let p =
+    {
+      KV.default_params with
+      server_procs = 2;
+      shards = 4;
+      clients = 6;
+      requests_per_client = 4;
+      workers_per_server = 3;
+      think_time_us = 500;
+      work_spin = 500;
+    }
+  in
+  let out = ref None in
+  ignore
+    (KV.run ~cpus:2 ~domains ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
+let test_net () = across_domains "net-server" net_probe
+let test_db () = across_domains "database" db_probe
+let test_kv () = across_domains "kv-store" kv_probe
+
+(* Chaos composes with the pool: network-heavy fault injection on the
+   hardened server, domains = 2 vs 1, bit-identical. *)
+let chaos_probe ~domains =
+  let p =
+    {
+      S.default_params with
+      connections = 10;
+      requests_per_conn = 3;
+      think_time_us = 1_000;
+      connect_stagger_us = 500;
+      workers = 4;
+      concurrency = 4;
+      client_concurrency = 10;
+      listen_backlog = 8;
+      hardened = true;
+      connect_retry_limit = 12;
+      retry_base_us = 300;
+      request_deadline_us = 250_000;
+      shed_queue_limit = 6;
+      work_spin = 500;
+    }
+  in
+  let out = ref None in
+  ignore
+    (S.run
+       (module Sunos_baselines.Mt)
+       ~cpus:2 ~domains ~chaos:Faultgen.network_heavy ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
+let test_chaos () =
+  check "net-server chaos network-heavy" (chaos_probe ~domains:1)
+    (chaos_probe ~domains:2)
+
+(* --- engine counters --------------------------------------------------- *)
+
+(* At quiescence every offloaded task has been retired (awaited, stolen,
+   or drained by its worker) and the shard fired counts partition the
+   queue total.  Cross-shard traffic must exist on a 2-CPU box: wakeups
+   and dispatches land on the other CPU's shard. *)
+let test_counters () =
+  let shards = ref [] and lanes = ref [||] and fired = ref 0 in
+  let p =
+    { S.default_params with connections = 8; work_spin = 500; concurrency = 4 }
+  in
+  ignore
+    (S.run
+       (module Sunos_baselines.Mt)
+       ~cpus:2 ~domains:2
+       ~debrief:(fun k ->
+         shards := Procfs.shards k;
+         lanes := Procfs.pool_lanes k;
+         fired := Eventq.events_fired (Kernel.machine k).Machine.eventq)
+       p);
+  Alcotest.(check int) "shards = cpus + 1" 3 (List.length !shards);
+  let by_shard =
+    List.fold_left (fun acc sh -> acc + sh.Procfs.sh_fired) 0 !shards
+  in
+  Alcotest.(check int) "shard fired counts partition the total" !fired by_shard;
+  Alcotest.(check bool) "cross-shard traffic observed" true
+    (List.exists (fun sh -> sh.Procfs.sh_cross_in > 0) !shards);
+  Alcotest.(check int) "one lane at domains=2" 1 (Array.length !lanes);
+  let l = !lanes.(0) in
+  Alcotest.(check bool) "offloads were submitted" true (l.Parexec.ls_submitted > 0);
+  Alcotest.(check int) "every submitted task completed" l.Parexec.ls_submitted
+    l.Parexec.ls_completed
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "net-server bit-identical x domains" `Quick
+            test_net;
+          Alcotest.test_case "database bit-identical x domains" `Quick test_db;
+          Alcotest.test_case "kv-store bit-identical x domains" `Quick test_kv;
+          Alcotest.test_case "chaos network-heavy domains=2" `Quick test_chaos;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "shard + pool counters" `Quick test_counters ] );
+    ]
