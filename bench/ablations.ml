@@ -24,6 +24,15 @@ let p50_ms h =
 let p99_ms h =
   if Hist.count h = 0 then nan else Time.to_ms (Hist.percentile h 0.99)
 
+(* same, for the log-bucketed histograms net_server now reports *)
+let hp50_ms h =
+  if Sunos_sim.Histogram.count h = 0 then nan
+  else Time.to_ms (Sunos_sim.Histogram.percentile h 0.5)
+
+let hp99_ms h =
+  if Sunos_sim.Histogram.count h = 0 then nan
+  else Time.to_ms (Sunos_sim.Histogram.percentile h 0.99)
+
 (* A1: thread-model comparison on the two motivating workloads. *)
 let models () =
   section "A1: M:N vs 1:1 vs user-only vs activations";
@@ -50,7 +59,7 @@ let models () =
     (fun (module M : Sunos_baselines.Model.S) ->
       let r = S.run (module M) ~cpus:1 sp in
       Bout.printf "  %-12s %8d %6d %12.2f %12.2f %12.0f\n" M.name r.S.served
-        r.S.lwps_created (p50_ms r.S.latency) (p99_ms r.S.latency)
+        r.S.lwps_created (hp50_ms r.S.latency) (hp99_ms r.S.latency)
         r.S.throughput_rps)
     Sunos_baselines.Model.all
 
@@ -453,9 +462,61 @@ let chaos ?(smoke = false) () =
       if not conserved then violated := true;
       Bout.printf "  %-16s %7d %6d %8d %7d %8d %12.2f%s\n"
         (Printf.sprintf "%gx" f) r.S.served r.S.shed r.S.aborted r.S.gaveup
-        !faults (p99_ms r.S.latency)
+        !faults (hp99_ms r.S.latency)
         (if conserved then "" else "   <- REQUESTS LOST"))
     (if smoke then [ 0.; 1. ] else [ 0.; 0.25; 0.5; 1.; 1.5; 2. ]);
+  (* Conservation at scale: the same invariant on the sharded epoll
+     server under open-loop Poisson load at C100k connection counts.
+     Chaos refuses connects, drops backlogs, resets and stalls
+     connections mid-flight; arrivals that land on a dead or saturated
+     connection are shed or aborted at the client, and the total must
+     still account for every arrival. *)
+  let scale_rows = if smoke then [ 1_000 ] else [ 10_000; 100_000 ] in
+  Bout.printf
+    "\nconservation at scale (epoll server, open loop, 1x net-heavy):\n";
+  Bout.printf "  %8s %8s %6s %8s %7s %8s %12s\n" "conns" "served" "shed"
+    "aborted" "gaveup" "faults" "p99 (ms)";
+  List.iter
+    (fun conns ->
+      let p =
+        {
+          S.default_params with
+          connections = conns;
+          requests_per_conn = (if conns >= 10_000 then 1 else 2);
+          parse_compute_us = 5;
+          reply_compute_us = 5;
+          disk_every = 0;
+          epoll = true;
+          open_loop = true;
+          pollers = 4;
+          workers = 32;
+          concurrency = 40;
+          connectors = 8;
+          arrival_rate_rps = 600.;
+          max_pending = 4;
+          drain_grace_us = 5_000_000;
+          listen_backlog = 64;
+          hardened = true;
+          connect_retry_limit = 12;
+          retry_base_us = 300;
+          shed_queue_limit = 64;
+        }
+      in
+      let total = conns * p.S.requests_per_conn in
+      let faults = ref 0 in
+      let r =
+        S.run
+          (module Sunos_baselines.Mt)
+          ~cpus:4 ~chaos:base
+          ~debrief:(fun k -> faults := Kernel.chaos_total k)
+          p
+      in
+      let conserved = r.S.served + r.S.shed + r.S.aborted = total in
+      if not conserved then violated := true;
+      Bout.printf "  %8d %8d %6d %8d %7d %8d %12.2f%s\n" conns r.S.served
+        r.S.shed r.S.aborted r.S.gaveup !faults (hp99_ms r.S.latency)
+        (if conserved then "" else "   <- REQUESTS LOST"))
+    scale_rows;
   if !violated then begin
     Printf.eprintf
       "ablation-chaos: request conservation violated under fault injection\n";

@@ -21,6 +21,12 @@ let targets : (string * string * (unit -> unit)) list =
     ( "server-scaling-smoke",
       "fast variant of server-scaling for the test suite",
       fun () -> Figures.server_scaling ~smoke:true () );
+    ( "c100k",
+      "connections on a log axis vs readiness mechanism (epoll vs poll)",
+      fun () -> Figures.c100k () );
+    ( "c100k-smoke",
+      "fast variant of c100k for the test suite",
+      fun () -> Figures.c100k ~smoke:true () );
     ( "kv-store",
       "sharded kv store over robust process-shared locks",
       fun () -> Figures.kv_store () );

@@ -113,6 +113,34 @@ let server_conns ~conns ~cpus ~coalesce =
   in
   ignore (S.run (module Sunos_baselines.Mt) ~cpus ~cost:(cost_of ~coalesce) p)
 
+(* C100k: the sharded epoll server holding [conns] connections under
+   open-loop Poisson load — readiness lists, compact per-connection
+   records, ONESHOT re-arms and the catch-up sender, all at full scale.
+   Arrival count tracks the connection axis (the [requests_per_conn]
+   multiplier), so the 100k full run is also 100k served requests. *)
+let server_epoll_open ~conns ~cpus ~coalesce =
+  let p =
+    {
+      S.default_params with
+      connections = conns;
+      requests_per_conn = (if conns >= 10_000 then 1 else 2);
+      parse_compute_us = 5;
+      reply_compute_us = 5;
+      disk_every = 0;
+      epoll = true;
+      open_loop = true;
+      pollers = 4;
+      workers = 32;
+      concurrency = 40;
+      connectors = 8;
+      arrival_rate_rps = 600.;
+      max_pending = 4;
+      drain_grace_us = 5_000_000;
+      listen_backlog = 64;
+    }
+  in
+  ignore (S.run (module Sunos_baselines.Mt) ~cpus ~cost:(cost_of ~coalesce) p)
+
 (* Compute-bound uniprocessor server (the paper's own machine class): no
    think time, long tokenizing parse/reply phases with an uncontended
    stats mutex on the hot path.  This is the regime run-ahead coalescing
@@ -305,6 +333,14 @@ let sections =
       smoke_baseline_mw = 5.6e6;
       full = server_conns ~conns:1000 ~cpus:4;
       smoke = server_conns ~conns:100 ~cpus:2;
+    };
+    {
+      name = "server-100k";
+      kernel = true;
+      smoke_baseline_s = 0.094;
+      smoke_baseline_mw = 2.6e7;
+      full = server_epoll_open ~conns:100_000 ~cpus:4;
+      smoke = server_epoll_open ~conns:1_000 ~cpus:2;
     };
     {
       name = "server-compute";

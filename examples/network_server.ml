@@ -20,8 +20,8 @@ let () =
     (fun (module M : Sunos_baselines.Model.S) ->
       let r = S.run (module M) ~cpus:1 p in
       let pct q =
-        if Sunos_sim.Stats.Hist.count r.S.latency = 0 then nan
-        else Sunos_sim.Time.to_ms (Sunos_sim.Stats.Hist.percentile r.S.latency q)
+        if Sunos_sim.Histogram.count r.S.latency = 0 then nan
+        else Sunos_sim.Time.to_ms (Sunos_sim.Histogram.percentile r.S.latency q)
       in
       Format.printf "%-12s | %6d | %4d | %8.2f ms | %8.2f ms | %6.0f rps@\n"
         M.name r.S.served r.S.lwps_created (pct 0.5) (pct 0.99)

@@ -945,6 +945,7 @@ and close_fdobj fdobj =
   | Fd_pipe_w p -> Pipe.close_write p
   | Fd_sock ep -> Socket.close ep
   | Fd_sock_listen l -> Socket.close_listener l
+  | Fd_epoll ep -> Epoll.close ep
   | Fd_file _ | Fd_net _ | Fd_tty -> ()
 
 and proc_exit k proc ~status =

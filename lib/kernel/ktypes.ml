@@ -127,6 +127,7 @@ and fdobj =
   | Fd_tty
   | Fd_sock_listen of Socket.listener
   | Fd_sock of Socket.endpoint
+  | Fd_epoll of Epoll.t
 
 (* A futex-queue entry; [fw_alive] is the lazy-removal guard. *)
 type futex_waiter = { fw_lwp : lwp; fw_alive : bool ref }

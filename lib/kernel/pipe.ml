@@ -1,3 +1,14 @@
+(* Persistent readiness watch — same contract as Socket.watch: fires at
+   every transition until unwatched, no readiness check at registration,
+   spurious firings allowed.  The epoll object subscribes through these. *)
+type watch = { w_fire : unit -> unit; mutable w_active : bool }
+
+let unwatch w = w.w_active <- false
+
+let fire_watches ws =
+  List.iter (fun w -> if w.w_active then w.w_fire ()) ws;
+  List.filter (fun w -> w.w_active) ws
+
 type t = {
   capacity : int;
   buf : Buffer.t;
@@ -5,6 +16,8 @@ type t = {
   mutable write_closed : bool;
   mutable read_waiters : (unit -> unit) list;
   mutable write_waiters : (unit -> unit) list;
+  mutable read_watches : watch list;
+  mutable write_watches : watch list;
 }
 
 let default_capacity = 5120
@@ -17,6 +30,8 @@ let create ?(capacity = default_capacity) () =
     write_closed = false;
     read_waiters = [];
     write_waiters = [];
+    read_watches = [];
+    write_watches = [];
   }
 
 let buffered t = Buffer.length t.buf
@@ -30,12 +45,15 @@ let write_closed t = t.write_closed
 let fire_read_waiters t =
   let ws = List.rev t.read_waiters in
   t.read_waiters <- [];
-  List.iter (fun f -> f ()) ws
+  List.iter (fun f -> f ()) ws;
+  if t.read_watches <> [] then t.read_watches <- fire_watches t.read_watches
 
 let fire_write_waiters t =
   let ws = List.rev t.write_waiters in
   t.write_waiters <- [];
-  List.iter (fun f -> f ()) ws
+  List.iter (fun f -> f ()) ws;
+  if t.write_watches <> [] then
+    t.write_watches <- fire_watches t.write_watches
 
 let read t ~len =
   let n = min len (buffered t) in
@@ -71,3 +89,13 @@ let on_readable t f =
 
 let on_writable t f =
   if writable t then f () else t.write_waiters <- f :: t.write_waiters
+
+let watch_readable t f =
+  let w = { w_fire = f; w_active = true } in
+  t.read_watches <- w :: t.read_watches;
+  w
+
+let watch_writable t f =
+  let w = { w_fire = f; w_active = true } in
+  t.write_watches <- w :: t.write_watches;
+  w

@@ -32,3 +32,15 @@ val on_readable : t -> (unit -> unit) -> unit
     make progress (data written or writers closed), then is dropped. *)
 
 val on_writable : t -> (unit -> unit) -> unit
+
+(** {1 Persistent readiness watches (epoll support)}
+
+    Same contract as {!Socket.watch}: fires at every transition until
+    unwatched, no readiness check at registration, spurious firings
+    allowed. *)
+
+type watch
+
+val watch_readable : t -> (unit -> unit) -> watch
+val watch_writable : t -> (unit -> unit) -> watch
+val unwatch : watch -> unit

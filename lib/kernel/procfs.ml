@@ -173,6 +173,51 @@ let pp_wait_channels ppf k =
               wc.wc_waiters)))
     (wait_channels k)
 
+(* --- epoll objects ---------------------------------------------------- *)
+
+type epoll_info = {
+  ei_pid : int;
+  ei_fd : int;
+  ei_interest : int;  (* registered fds *)
+  ei_ready : int;  (* current ready-queue depth *)
+  ei_edges : int;  (* entries enqueued over the object's lifetime *)
+  ei_coalesced : int;  (* edges absorbed by an already-queued entry *)
+  ei_wakeups : int;  (* blocked epoll_wait callers woken *)
+  ei_delivered : int;  (* entries handed to epoll_wait callers *)
+}
+
+let epolls k =
+  List.concat_map
+    (fun p ->
+      Hashtbl.fold
+        (fun fd o acc ->
+          match o with
+          | Fd_epoll ep ->
+              {
+                ei_pid = p.pid;
+                ei_fd = fd;
+                ei_interest = Epoll.interest_count ep;
+                ei_ready = Epoll.ready_depth ep;
+                ei_edges = Epoll.edges ep;
+                ei_coalesced = Epoll.coalesced ep;
+                ei_wakeups = Epoll.wakeups ep;
+                ei_delivered = Epoll.delivered ep;
+              }
+              :: acc
+          | _ -> acc)
+        p.fdtab [])
+    k.procs
+  |> List.sort (fun a b -> compare (a.ei_pid, a.ei_fd) (b.ei_pid, b.ei_fd))
+
+let pp_epoll ppf ei =
+  Format.fprintf ppf
+    "epoll pid%d/fd%d interest=%d ready=%d edges=%d coalesced=%d wakeups=%d \
+     delivered=%d@."
+    ei.ei_pid ei.ei_fd ei.ei_interest ei.ei_ready ei.ei_edges ei.ei_coalesced
+    ei.ei_wakeups ei.ei_delivered
+
+let pp_epolls ppf k = List.iter (pp_epoll ppf) (epolls k)
+
 (* --- parallel engine: event-queue shards and the worker pool ---------- *)
 
 type shard_info = {

@@ -61,6 +61,32 @@ val wait_channels : Ktypes.kernel -> wchan_info list
 
 val pp_wait_channels : Format.formatter -> Ktypes.kernel -> unit
 
+(** {1 Epoll objects}
+
+    Readiness-delivery stats, one row per open epoll fd: interest-set
+    size, current ready-queue depth, and the lifetime edge/coalesce/
+    wakeup/delivery counters.  [ei_coalesced] is the figure of merit for
+    edge dedup — edges absorbed because the entry was already queued —
+    and [ei_delivered / ei_wakeups] is the batching ratio a wait
+    achieves. *)
+
+type epoll_info = {
+  ei_pid : int;
+  ei_fd : int;
+  ei_interest : int;  (** registered fds *)
+  ei_ready : int;  (** current ready-queue depth *)
+  ei_edges : int;  (** entries enqueued over the object's lifetime *)
+  ei_coalesced : int;  (** edges absorbed by an already-queued entry *)
+  ei_wakeups : int;  (** blocked epoll_wait callers woken *)
+  ei_delivered : int;  (** entries handed to epoll_wait callers *)
+}
+
+val epolls : Ktypes.kernel -> epoll_info list
+(** Every open epoll fd, ordered by (pid, fd). *)
+
+val pp_epoll : Format.formatter -> epoll_info -> unit
+val pp_epolls : Format.formatter -> Ktypes.kernel -> unit
+
 (** {1 Parallel engine}
 
     The sharded event queue and the worker-domain pool, from outside:

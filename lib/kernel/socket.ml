@@ -19,6 +19,24 @@
 module Net = Sunos_hw.Devices.Net
 module Time = Sunos_sim.Time
 
+(* A persistent readiness watch: unlike the one-shot waiter lists below
+   it stays registered across firings and is detached explicitly (or
+   lazily, via the active flag, when the owner disappears first).  This
+   is the edge-notification primitive the epoll object builds on: the
+   callback fires at every state transition that may have made the
+   object ready, and the subscriber is responsible for deduplication —
+   spurious firings are part of the contract. *)
+type watch = { w_fire : unit -> unit; mutable w_active : bool }
+
+let unwatch w = w.w_active <- false
+
+(* Fire the live watches and prune the dead ones.  Watch lists are tiny
+   (one epoll interest per fd side in practice), so the rebuild is
+   cheaper than bookkeeping a doubly-linked list. *)
+let fire_watches ws =
+  List.iter (fun w -> if w.w_active then w.w_fire ()) ws;
+  List.filter (fun w -> w.w_active) ws
+
 type dir = {
   capacity : int;
   buf : Buffer.t;  (* delivered, not yet read by the receiver *)
@@ -28,6 +46,8 @@ type dir = {
   mutable stall_until : Time.t;  (* fault injection: peer not draining *)
   mutable read_waiters : (unit -> unit) list;
   mutable write_waiters : (unit -> unit) list;
+  mutable read_watches : watch list;  (* persistent: epoll edges *)
+  mutable write_watches : watch list;
 }
 
 type conn = {
@@ -46,6 +66,7 @@ type listener = {
   capacity : int;  (* per-direction buffer size of accepted connections *)
   pending : endpoint Queue.t;  (* established, not yet accepted *)
   mutable accept_waiters : (unit -> unit) list;
+  mutable accept_watches : watch list;
   mutable lclosed : bool;
   registry : registry;
 }
@@ -67,6 +88,8 @@ let mk_dir capacity =
     stall_until = Time.zero;
     read_waiters = [];
     write_waiters = [];
+    read_watches = [];
+    write_watches = [];
   }
 
 let buffered (d : dir) = Buffer.length d.buf
@@ -76,15 +99,22 @@ let window (d : dir) = d.capacity - buffered d - d.in_flight
    must be O(1) because a poller re-registers on every idle fd it
    watches on every poll cycle — appending to the list tail would make
    an idle connection cost quadratic time between readiness events. *)
+(* One-shot waiters fire before persistent watches so the pre-epoll
+   blocking paths observe exactly the wakeup order they always have —
+   with no watches registered these functions are byte-identical to
+   their old selves, which is what keeps the legacy goldens valid. *)
 let fire_read_waiters d =
   let ws = List.rev d.read_waiters in
   d.read_waiters <- [];
-  List.iter (fun f -> f ()) ws
+  List.iter (fun f -> f ()) ws;
+  if d.read_watches <> [] then d.read_watches <- fire_watches d.read_watches
 
 let fire_write_waiters d =
   let ws = List.rev d.write_waiters in
   d.write_waiters <- [];
-  List.iter (fun f -> f ()) ws
+  List.iter (fun f -> f ()) ws;
+  if d.write_watches <> [] then
+    d.write_watches <- fire_watches d.write_watches
 
 (* ---- endpoints ------------------------------------------------------ *)
 
@@ -211,6 +241,23 @@ let on_writable ep f =
     let d = outgoing ep in
     d.write_waiters <- f :: d.write_waiters
 
+(* Persistent watches do NOT check current readiness at registration:
+   the epoll layer performs its own level check when an interest is
+   added or re-armed, and only the subsequent transitions come through
+   here.  Splitting it this way is what makes the lost-wakeup argument
+   local (see DESIGN.md). *)
+let watch_readable ep f =
+  let w = { w_fire = f; w_active = true } in
+  let d = incoming ep in
+  d.read_watches <- w :: d.read_watches;
+  w
+
+let watch_writable ep f =
+  let w = { w_fire = f; w_active = true } in
+  let d = outgoing ep in
+  d.write_watches <- w :: d.write_watches;
+  w
+
 (* ---- listeners ------------------------------------------------------ *)
 
 let listen registry ~name ~backlog ?(capacity = default_capacity) () =
@@ -223,6 +270,7 @@ let listen registry ~name ~backlog ?(capacity = default_capacity) () =
         capacity;
         pending = Queue.create ();
         accept_waiters = [];
+        accept_watches = [];
         lclosed = false;
         registry;
       }
@@ -240,7 +288,9 @@ let acceptable l = l.lclosed || not (Queue.is_empty l.pending)
 let fire_accept_waiters l =
   let ws = List.rev l.accept_waiters in
   l.accept_waiters <- [];
-  List.iter (fun f -> f ()) ws
+  List.iter (fun f -> f ()) ws;
+  if l.accept_watches <> [] then
+    l.accept_watches <- fire_watches l.accept_watches
 
 (* SYN arrival: admit a connection if the listener still exists and the
    backlog has room.  Returns the client endpoint; the matching server
@@ -260,6 +310,11 @@ let accept l = Queue.take_opt l.pending
 
 let on_acceptable l f =
   if acceptable l then f () else l.accept_waiters <- f :: l.accept_waiters
+
+let watch_acceptable l f =
+  let w = { w_fire = f; w_active = true } in
+  l.accept_watches <- w :: l.accept_watches;
+  w
 
 let close_listener l =
   if not l.lclosed then begin

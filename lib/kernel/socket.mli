@@ -81,6 +81,27 @@ val peer_closed : endpoint -> bool
 val on_readable : endpoint -> (unit -> unit) -> unit
 val on_writable : endpoint -> (unit -> unit) -> unit
 
+(** {1 Persistent readiness watches (epoll support)}
+
+    Unlike the one-shot [on_*] callbacks, a {!watch} survives firings:
+    it is called at {e every} state transition that may have made the
+    object ready (data delivery, window opening, EOF, reset, close)
+    until {!unwatch}ed.  Registration performs no readiness check — the
+    subscriber (the epoll object) does its own level check at
+    registration time, so the split of responsibility is: watches carry
+    edges, the subscriber handles the initial level and deduplicates.
+    Spurious firings are part of the contract. *)
+
+type watch
+
+val watch_readable : endpoint -> (unit -> unit) -> watch
+val watch_writable : endpoint -> (unit -> unit) -> watch
+val watch_acceptable : listener -> (unit -> unit) -> watch
+(** Fires on pending-queue arrivals {e and} on listener close. *)
+
+val unwatch : watch -> unit
+(** Detach; idempotent.  O(1) (lazy removal via an active flag). *)
+
 val pair :
   net:Sunos_hw.Devices.Net.t -> ?capacity:int -> unit -> endpoint * endpoint
 (** A connected pair without the listen/connect handshake. *)

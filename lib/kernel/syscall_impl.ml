@@ -41,6 +41,7 @@ let in_ready k fdobj =
   | Fd_tty -> Tty.has_input k.machine.Machine.tty
   | Fd_sock ep -> Socket.readable ep
   | Fd_sock_listen l -> Socket.acceptable l
+  | Fd_epoll ep -> Epoll.ready_depth ep > 0 || Epoll.closed ep
 
 let out_ready fdobj =
   match fdobj with
@@ -48,7 +49,7 @@ let out_ready fdobj =
   | Fd_pipe_w p -> Pipe.writable p
   | Fd_pipe_r _ -> false
   | Fd_sock ep -> Socket.writable ep
-  | Fd_sock_listen _ -> false
+  | Fd_sock_listen _ | Fd_epoll _ -> false
 
 (* Register a one-shot "something changed" callback on a pollable object.
    File fds are always ready so they never need registration. *)
@@ -62,6 +63,7 @@ let register_ready k fdobj ~want_in ~want_out f =
       if want_in then Socket.on_readable ep f;
       if want_out then Socket.on_writable ep f
   | Fd_sock_listen l -> if want_in then Socket.on_acceptable l f
+  | Fd_epoll ep -> if want_in then Epoll.add_waiter ep f
   | Fd_file _ -> ()
 
 (* --- file I/O -------------------------------------------------------- *)
@@ -266,6 +268,89 @@ let rec poll_register k lwp fds ~alive =
       | Some o -> register_ready k o ~want_in ~want_out on_change
       | None -> ())
     fds
+
+(* --- epoll ------------------------------------------------------------ *)
+
+(* Attach persistent watches matching the entry's interest mask and
+   store their detach closure.  Returns false on objects that have no
+   edge sources (plain files, net channels, ttys, other epolls) — epoll
+   interest on those is refused rather than silently level-polled. *)
+let epoll_attach ep (e : Epoll.entry) fdobj =
+  let fire () = Epoll.note_edge ep e in
+  match fdobj with
+  | Fd_sock sep ->
+      let r =
+        if e.Epoll.e_want_in then Some (Socket.watch_readable sep fire)
+        else None
+      and w =
+        if e.Epoll.e_want_out then Some (Socket.watch_writable sep fire)
+        else None
+      in
+      e.Epoll.e_unwatch <-
+        (fun () ->
+          Option.iter Socket.unwatch r;
+          Option.iter Socket.unwatch w);
+      true
+  | Fd_sock_listen l ->
+      if e.Epoll.e_want_in then begin
+        let w = Socket.watch_acceptable l fire in
+        e.Epoll.e_unwatch <- (fun () -> Socket.unwatch w)
+      end;
+      true
+  | Fd_pipe_r p ->
+      if e.Epoll.e_want_in then begin
+        let w = Pipe.watch_readable p fire in
+        e.Epoll.e_unwatch <- (fun () -> Pipe.unwatch w)
+      end;
+      true
+  | Fd_pipe_w p ->
+      if e.Epoll.e_want_out then begin
+        let w = Pipe.watch_writable p fire in
+        e.Epoll.e_unwatch <- (fun () -> Pipe.unwatch w)
+      end;
+      true
+  | Fd_file _ | Fd_net _ | Fd_tty | Fd_epoll _ -> false
+
+(* Drain up to [max] live entries off the ready queue.  This is the
+   whole point of the design: cost is O(returned), never O(interest).
+   Entries whose fd was closed without a ctl(DEL) are collected here
+   (their watches died with the object; the interest record is garbage).
+   Readiness may be stale by delivery — the edge-trigger contract makes
+   that the consumer's problem (drain until EAGAIN). *)
+let epoll_collect proc ep ~max =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match Epoll.pop ep with
+      | None -> List.rev acc
+      | Some e -> (
+          match lookup_fd proc e.Epoll.e_fd with
+          | None ->
+              Epoll.kill_entry ep e;
+              go acc n
+          | Some _ ->
+              Epoll.note_delivered ep e;
+              go (e.Epoll.e_fd :: acc) (n - 1))
+  in
+  go [] max
+
+let rec epoll_wait_blocking k lwp ep ~maxev ~alive =
+  Epoll.add_waiter ep (fun () ->
+      if !alive then
+        match lwp.sleep with
+        | Some _ ->
+            if Epoll.closed ep then begin
+              alive := false;
+              K.wake k lwp (R_err Errno.EBADF)
+            end
+            else
+              let fds = epoll_collect lwp.proc ep ~max:maxev in
+              if fds <> [] then begin
+                alive := false;
+                K.wake k lwp (R_poll fds)
+              end
+              else epoll_wait_blocking k lwp ep ~maxev ~alive
+        | None -> alive := false)
 
 (* --- fork / exec ------------------------------------------------------ *)
 
@@ -485,6 +570,7 @@ let execute k lwp req =
                 ~cancel:(fun () -> alive := false);
               sock_read_blocking k lwp ep ~len ~alive)
       | Some (Fd_sock_listen _) -> K.complete k lwp (R_err Errno.ENOTCONN)
+      | Some (Fd_epoll _) -> K.complete k lwp (R_err Errno.EBADF)
       | Some Fd_tty -> (
           match Tty.read_input k.machine.Machine.tty with
           | Some line ->
@@ -593,6 +679,7 @@ let execute k lwp req =
                 sock_write_blocking k lwp ep data ~alive
           end
       | Some (Fd_sock_listen _) -> K.complete k lwp (R_err Errno.ENOTCONN)
+      | Some (Fd_epoll _) -> K.complete k lwp (R_err Errno.EBADF)
       | Some Fd_tty ->
           K.complete k lwp
             ~op_cost:(copy_cost c (String.length data))
@@ -604,7 +691,7 @@ let execute k lwp req =
           K.complete k lwp R_ok
       | Some
           (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty | Fd_sock _
-          | Fd_sock_listen _)
+          | Fd_sock_listen _ | Fd_epoll _)
       | None ->
           K.complete k lwp (R_err Errno.EINVAL))
   | Sys_unlink path -> (
@@ -620,7 +707,7 @@ let execute k lwp req =
           K.complete k lwp ~op_cost:c.Cost.fs_op (R_seg seg)
       | Some
           (Fd_pipe_r _ | Fd_pipe_w _ | Fd_net _ | Fd_tty | Fd_sock _
-          | Fd_sock_listen _)
+          | Fd_sock_listen _ | Fd_epoll _)
       | None ->
           K.complete k lwp (R_err Errno.EBADF))
   | Sys_mmap_anon { size; shared } ->
@@ -778,6 +865,99 @@ let execute k lwp req =
           (match timeout with
           | Some t -> K.set_sleep_timeout k lwp t (R_poll [])
           | None -> ()))
+  | Sys_epoll_create ->
+      let ep = Epoll.create ~id:proc.next_fd in
+      let fd = install_fd proc (Fd_epoll ep) in
+      K.trace k "epoll" "pid%d epoll_create -> fd%d" proc.pid fd;
+      K.complete k lwp ~op_cost:c.Cost.sock_op (R_int fd)
+  | Sys_epoll_ctl (epfd, fd, op) -> (
+      match lookup_fd proc epfd with
+      | Some (Fd_epoll ep) when not (Epoll.closed ep) -> (
+          match op with
+          | Ep_add { want_in; want_out; oneshot } -> (
+              match Epoll.find ep fd with
+              | Some _ -> K.complete k lwp (R_err Errno.EEXIST)
+              | None -> (
+                  match lookup_fd proc fd with
+                  | None -> K.complete k lwp (R_err Errno.EBADF)
+                  | Some o ->
+                      let e =
+                        Epoll.register ep ~fd ~want_in ~want_out ~oneshot
+                      in
+                      if epoll_attach ep e o then begin
+                        (* arm-time level check: interest added on an
+                           already-ready object queues immediately —
+                           the edge happened before we were listening *)
+                        if
+                          (want_in && in_ready k o)
+                          || (want_out && out_ready o)
+                        then Epoll.note_edge ep e;
+                        K.complete k lwp ~op_cost:c.Cost.sock_op R_ok
+                      end
+                      else begin
+                        Epoll.kill_entry ep e;
+                        K.complete k lwp (R_err Errno.EINVAL)
+                      end))
+          | Ep_mod { want_in; want_out; oneshot } -> (
+              match Epoll.find ep fd with
+              | None -> K.complete k lwp (R_err Errno.ENOENT)
+              | Some e -> (
+                  match lookup_fd proc fd with
+                  | None ->
+                      Epoll.kill_entry ep e;
+                      K.complete k lwp (R_err Errno.EBADF)
+                  | Some o ->
+                      e.Epoll.e_unwatch ();
+                      e.Epoll.e_want_in <- want_in;
+                      e.Epoll.e_want_out <- want_out;
+                      e.Epoll.e_oneshot <- oneshot;
+                      e.Epoll.e_armed <- true;
+                      ignore (epoll_attach ep e o : bool);
+                      (* re-arm level check: an edge swallowed while the
+                         entry was disarmed must resurface now, or a
+                         ONESHOT consumer that drained to EAGAIN after
+                         new data arrived would sleep forever *)
+                      if
+                        (want_in && in_ready k o)
+                        || (want_out && out_ready o)
+                      then Epoll.note_edge ep e;
+                      K.complete k lwp ~op_cost:c.Cost.sock_op R_ok))
+          | Ep_del -> (
+              match Epoll.find ep fd with
+              | None -> K.complete k lwp (R_err Errno.ENOENT)
+              | Some e ->
+                  Epoll.kill_entry ep e;
+                  K.complete k lwp ~op_cost:c.Cost.sock_op R_ok))
+      | Some _ | None -> K.complete k lwp (R_err Errno.EBADF))
+  | Sys_epoll_wait (epfd, maxev, timeout) -> (
+      match lookup_fd proc epfd with
+      | Some (Fd_epoll ep) ->
+          if Epoll.closed ep then K.complete k lwp (R_err Errno.EBADF)
+          else begin
+            let maxev = max 1 maxev in
+            let op_cost n =
+              Int64.add c.Cost.poll_fixed
+                (Int64.mul c.Cost.poll_per_fd (Int64.of_int n))
+            in
+            let fds = epoll_collect proc ep ~max:maxev in
+            match (fds, timeout) with
+            | _ :: _, _ ->
+                K.complete k lwp
+                  ~op_cost:(op_cost (List.length fds))
+                  (R_poll fds)
+            | [], Some t when Time.(t <= 0L) ->
+                K.complete k lwp ~op_cost:(op_cost 0) (R_poll [])
+            | [], _ ->
+                let alive = ref true in
+                K.block k lwp ~wchan:"epoll" ~interruptible:true
+                  ~indefinite:true
+                  ~cancel:(fun () -> alive := false);
+                epoll_wait_blocking k lwp ep ~maxev ~alive;
+                (match timeout with
+                | Some t -> K.set_sleep_timeout k lwp t (R_poll [])
+                | None -> ())
+          end
+      | Some _ | None -> K.complete k lwp (R_err Errno.EBADF))
   | Sys_kill (pid, signo) -> (
       match K.find_proc k pid with
       | Some target ->

@@ -10,6 +10,13 @@ type sched_class_req = Cls_timeshare | Cls_realtime of int | Cls_gang of int
 
 type poll_fd = { pfd : fd; want_in : bool; want_out : bool }
 
+(* epoll_ctl operations.  Add/Mod carry the interest mask plus the
+   ONESHOT flag (deliver once, disarm until the next Mod re-arms). *)
+type epoll_op =
+  | Ep_add of { want_in : bool; want_out : bool; oneshot : bool }
+  | Ep_mod of { want_in : bool; want_out : bool; oneshot : bool }
+  | Ep_del
+
 type rusage = {
   ru_utime : Sunos_sim.Time.span;
   ru_stime : Sunos_sim.Time.span;
@@ -45,6 +52,10 @@ type sysreq =
   | Sys_accept of fd * bool (* nonblock *)
   | Sys_note_shed  (* account one load-shed connection in /proc *)
   | Sys_poll of poll_fd list * Sunos_sim.Time.span option
+  | Sys_epoll_create
+  | Sys_epoll_ctl of fd * fd * epoll_op  (* epoll fd, target fd, op *)
+  | Sys_epoll_wait of fd * int * Sunos_sim.Time.span option
+      (* epoll fd, max events, timeout (None = indefinite) *)
   | Sys_kill of int * Signo.t
   | Sys_lwp_kill of int * Signo.t
   | Sys_sigaction of Signo.t * disposition
@@ -115,6 +126,9 @@ let sysreq_name = function
   | Sys_accept _ -> "accept"
   | Sys_note_shed -> "note_shed"
   | Sys_poll _ -> "poll"
+  | Sys_epoll_create -> "epoll_create"
+  | Sys_epoll_ctl _ -> "epoll_ctl"
+  | Sys_epoll_wait _ -> "epoll_wait"
   | Sys_kill _ -> "kill"
   | Sys_lwp_kill _ -> "lwp_kill"
   | Sys_sigaction _ -> "sigaction"

@@ -24,6 +24,17 @@ type sched_class_req =
 
 type poll_fd = { pfd : fd; want_in : bool; want_out : bool }
 
+type epoll_op =
+  | Ep_add of { want_in : bool; want_out : bool; oneshot : bool }
+      (** Register interest.  [oneshot]: disarm on delivery until the
+          next [Ep_mod] re-arms (EPOLLONESHOT).  [EEXIST] if already
+          registered, [EBADF] on an unpollable fd. *)
+  | Ep_mod of { want_in : bool; want_out : bool; oneshot : bool }
+      (** Update the mask and re-arm; readiness is re-checked at re-arm
+          time so an edge that fired while disarmed is not lost.
+          [ENOENT] if not registered. *)
+  | Ep_del  (** Drop interest; pending readiness is discarded. *)
+
 type rusage = {
   ru_utime : Sunos_sim.Time.span;  (** user CPU, all LWPs, incl. dead *)
   ru_stime : Sunos_sim.Time.span;  (** system CPU, all LWPs, incl. dead *)
@@ -81,6 +92,15 @@ type sysreq =
           connection behind one poll readiness event. *)
   | Sys_poll of poll_fd list * Sunos_sim.Time.span option
       (** No timeout = indefinite wait (counts toward SIGWAITING). *)
+  | Sys_epoll_create
+      (** New epoll object; returns its fd.  Edge-triggered readiness
+          delivery: a wait costs O(ready), not O(interest). *)
+  | Sys_epoll_ctl of fd * fd * epoll_op  (** epoll fd, target fd, op *)
+  | Sys_epoll_wait of fd * int * Sunos_sim.Time.span option
+      (** Up to [max] ready fds ([R_poll]); blocks while none (no
+          timeout = indefinite, counts toward SIGWAITING).  Readiness is
+          edge-recorded and may be stale by delivery — consumers drain
+          non-blocking until [EAGAIN]. *)
   | Sys_kill of int * Signo.t
   | Sys_lwp_kill of int * Signo.t  (** LWP-directed, own process only *)
   | Sys_sigaction of Signo.t * disposition

@@ -305,6 +305,38 @@ let rec poll ?timeout fds =
       poll ?timeout fds
   | r -> fail "poll" r
 
+let epoll_create () =
+  match syscall Sys_epoll_create with
+  | R_int fd -> fd
+  | r -> fail "epoll_create" r
+
+let epoll_add epfd fd ?(want_in = false) ?(want_out = false)
+    ?(oneshot = false) () =
+  match syscall (Sys_epoll_ctl (epfd, fd, Ep_add { want_in; want_out; oneshot }))
+  with
+  | R_ok -> ()
+  | r -> fail "epoll_add" r
+
+let epoll_mod epfd fd ?(want_in = false) ?(want_out = false)
+    ?(oneshot = false) () =
+  match syscall (Sys_epoll_ctl (epfd, fd, Ep_mod { want_in; want_out; oneshot }))
+  with
+  | R_ok -> ()
+  | r -> fail "epoll_mod" r
+
+let epoll_del epfd fd =
+  match syscall (Sys_epoll_ctl (epfd, fd, Ep_del)) with
+  | R_ok -> ()
+  | r -> fail "epoll_del" r
+
+let rec epoll_wait ?timeout epfd ~max_events =
+  match syscall (Sys_epoll_wait (epfd, max_events, timeout)) with
+  | R_poll ready -> ready
+  | R_err Errno.EINTR ->
+      checkpoint ();
+      epoll_wait ?timeout epfd ~max_events
+  | r -> fail "epoll_wait" r
+
 let mmap fd =
   match syscall (Sys_mmap { fd }) with R_seg s -> s | r -> fail "mmap" r
 

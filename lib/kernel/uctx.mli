@@ -155,6 +155,48 @@ val poll :
   ?timeout:Sunos_sim.Time.span -> Sysdefs.poll_fd list -> Sysdefs.fd list
 (** Restarted after signal handlers run; [[]] only on timeout. *)
 
+(** {1 Epoll: edge-triggered readiness}
+
+    O(ready) event delivery for servers holding many connections; the
+    legacy {!poll} rescans its whole set per wakeup, epoll does not.
+    Edge-triggered: after a delivery, drain with the non-blocking ops
+    ({!try_read}, {!accept_nb}) until [`Again], and for ONESHOT
+    interests re-arm with {!epoll_mod} when ready for the next event. *)
+
+val epoll_create : unit -> Sysdefs.fd
+
+val epoll_add :
+  Sysdefs.fd ->
+  Sysdefs.fd ->
+  ?want_in:bool ->
+  ?want_out:bool ->
+  ?oneshot:bool ->
+  unit ->
+  unit
+(** Register interest of the second fd on the first (epoll) fd.  Raises
+    [EEXIST] if already registered, [EINVAL] on objects without edge
+    sources (plain files, net channels, ttys, epolls). *)
+
+val epoll_mod :
+  Sysdefs.fd ->
+  Sysdefs.fd ->
+  ?want_in:bool ->
+  ?want_out:bool ->
+  ?oneshot:bool ->
+  unit ->
+  unit
+(** Update mask and re-arm (with a readiness re-check, so edges that
+    fired while a ONESHOT entry was disarmed are not lost). *)
+
+val epoll_del : Sysdefs.fd -> Sysdefs.fd -> unit
+
+val epoll_wait :
+  ?timeout:Sunos_sim.Time.span -> Sysdefs.fd -> max_events:int -> Sysdefs.fd list
+(** Up to [max_events] ready fds; blocks while none are ready (restarted
+    after signal handlers run).  [[]] only on timeout.  Readiness may be
+    stale (edge recorded before a competing consumer drained): treat
+    [`Again] from the subsequent non-blocking op as normal. *)
+
 (** {1 Memory} *)
 
 val mmap : Sysdefs.fd -> Sunos_hw.Shared_memory.t

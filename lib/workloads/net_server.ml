@@ -1,5 +1,5 @@
 module Time = Sunos_sim.Time
-module Hist = Sunos_sim.Stats.Hist
+module Histo = Sunos_sim.Histogram
 module Rng = Sunos_sim.Rng
 module Shm = Sunos_hw.Shared_memory
 module Parexec = Sunos_sim.Parexec
@@ -7,6 +7,7 @@ module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
 module Errno = Sunos_kernel.Errno
 module Sysdefs = Sunos_kernel.Sysdefs
+module Procfs = Sunos_kernel.Procfs
 module Fs = Sunos_kernel.Fs
 
 type params = {
@@ -34,6 +35,13 @@ type params = {
   retry_base_us : int;
   request_deadline_us : int;
   shed_queue_limit : int;
+  epoll : bool;
+  pollers : int;
+  open_loop : bool;
+  arrival_rate_rps : float;
+  max_pending : int;
+  drain_grace_us : int;
+  connectors : int;
   seed : int64;
 }
 
@@ -59,25 +67,38 @@ let default_params =
     retry_base_us = 500;
     request_deadline_us = 0;
     shed_queue_limit = 0;
+    epoll = false;
+    pollers = 1;
+    open_loop = false;
+    arrival_rate_rps = 0.;
+    max_pending = 4;
+    drain_grace_us = 200_000;
+    connectors = 4;
     seed = 31L;
   }
 
 type results = {
+  issued : int;
   served : int;
   shed : int;
   aborted : int;
   gaveup : int;
   refused : int;
   max_concurrent : int;
-  latency : Hist.t;
+  latency : Histo.t;
   makespan : Time.span;
   throughput_rps : float;
   lwps_created : int;
   syscalls : int;
+  epoll_stats : Procfs.epoll_info list;
 }
 
 let data_path = "/srv/data"
 let service_name = "svc"
+
+(* epoll_wait / dispatch batch size: bounds the per-wakeup work on both
+   sides to O(min(ready, batch)), never O(connections) *)
+let poll_batch = 64
 
 let pad msg len =
   if String.length msg >= len then String.sub msg 0 len
@@ -91,12 +112,14 @@ let is_busy reply = String.length reply >= 4 && String.sub reply 0 4 = "busy"
    cost less than service or shedding cannot shed load. *)
 type job = Stop | Work of int | Shed of int
 
-(* The server process: an acceptor thread feeds connections into a
-   polled set; a poller thread multiplexes the idle connections (plus a
-   self-pipe so workers can kick it) and dispatches readable ones to a
+(* The legacy server process: an acceptor thread feeds connections into
+   a polled set; a poller thread multiplexes the idle connections (plus
+   a self-pipe so workers can kick it) and dispatches readable ones to a
    fixed worker pool through a mutex-protected queue.  One request in
    flight per connection: a dispatched fd leaves the polled set until
-   its worker has written the reply. *)
+   its worker has written the reply.  Every wakeup rebuilds and rescans
+   the whole polled set — O(connections) per event, which is what the
+   epoll server below exists to avoid. *)
 let server (module M : Sunos_baselines.Model.S) k p
     ~(note_conn : int -> unit) () =
   M.set_concurrency p.concurrency;
@@ -340,6 +363,281 @@ let server (module M : Sunos_baselines.Model.S) k p
   in
   List.iter M.join threads
 
+(* --- the C100k epoll server ------------------------------------------- *)
+
+(* Sharded, edge-triggered server: [pollers] shards, each owning its own
+   epoll instance, self-pipe and preallocated integer work ring, with a
+   private slice of the worker pool.  There is no central lock and no
+   per-wakeup O(connections) scan: readiness arrives as edges pushed by
+   the kernel at state transitions, epoll_wait returns only ready fds,
+   and per-connection state is a ONESHOT interest entry plus the ring
+   slot — no closures, thread stacks or lists per connection.
+
+   Dispatch protocol: every shard registers the listening fd in its
+   epoll (a shared-backlog accept spreads connections across shards);
+   accepted fds join the accepting shard with a ONESHOT interest.  The
+   poller encodes jobs as ints in the ring — [fd+1] serve, [-(fd+1)]
+   shed, [0] stop — so dispatch allocates nothing.  A worker drains the
+   connection to EAGAIN (serving every complete frame behind one edge),
+   then re-arms with epoll_mod; the kernel re-checks readiness at re-arm
+   time, so a frame that landed while the entry was disarmed is never
+   lost.  Global accounting (accepted/closed) is touched once per
+   connection lifetime, never per event. *)
+
+let server_epoll (module M : Sunos_baselines.Model.S) k p
+    ~(note_conn : int -> unit)
+    ~(epoll_stats : Procfs.epoll_info list ref) () =
+  M.set_concurrency p.concurrency;
+  let shards = max 1 p.pollers in
+  let wps = max 1 (p.workers / shards) in
+  let lfd = Uctx.listen ~name:service_name ~backlog:p.listen_backlog in
+  let data_fd = Uctx.open_file data_path in
+  let file =
+    match Fs.lookup (Kernel.fs k) data_path with
+    | Some f -> f
+    | None -> assert false
+  in
+  (* replies are constant: build each once, not per request *)
+  let reply_done = pad "done" p.reply_bytes in
+  let reply_busy = pad "busy" p.reply_bytes in
+  let stats_mu = if p.compute_steps > 1 then Some (M.Mu.create ()) else None in
+  let stats_ops = ref 0 in
+  let spin_sink = ref 0 in
+  let compute_phase us =
+    if p.work_spin > 0 then begin
+      let cell = ref 0 in
+      Uctx.offload ~cost:(Time.us us) (fun () ->
+          cell := Parexec.spin ~seed:us p.work_spin);
+      spin_sink := !spin_sink lxor !cell
+    end
+    else
+    match stats_mu with
+    | None -> Uctx.charge_us us
+    | Some smu ->
+        let steps = p.compute_steps in
+        let chunk = us / steps in
+        for i = 1 to steps do
+          M.Mu.lock smu;
+          incr stats_ops;
+          M.Mu.unlock smu;
+          Uctx.charge_us
+            (if i = steps then us - (chunk * (steps - 1)) else chunk)
+        done
+  in
+  ignore (stats_ops : int ref);
+  ignore (spin_sink : int ref);
+  (* global accounting: one lock, touched at accept and retire only *)
+  let gmu = M.Mu.create () in
+  let taken = ref 0 and closed = ref 0 in
+  let accepting = ref true in
+  let all_done = ref false in
+  if p.connections = 0 then begin
+    accepting := false;
+    all_done := true
+  end;
+  (* per-shard machinery *)
+  let ring_cap = p.connections + wps + 4 in
+  let rings = Array.init shards (fun _ -> Array.make ring_cap 0) in
+  let heads = Array.make shards 0 in
+  let tails = Array.make shards 0 in
+  let mus = Array.init shards (fun _ -> M.Mu.create ()) in
+  let qsems = Array.init shards (fun _ -> M.Sem.create 0) in
+  let epfds = Array.init shards (fun _ -> Uctx.epoll_create ()) in
+  let self_r = Array.make shards (-1) in
+  let self_w = Array.make shards (-1) in
+  for s = 0 to shards - 1 do
+    let r, w = Uctx.pipe () in
+    self_r.(s) <- r;
+    self_w.(s) <- w;
+    Uctx.epoll_add epfds.(s) r ~want_in:true ();
+    Uctx.epoll_add epfds.(s) lfd ~want_in:true ()
+  done;
+  let kick_all () = Array.iter (fun w -> ignore (Uctx.write w "!")) self_w in
+  let finish_check () =
+    M.Mu.lock gmu;
+    let fin =
+      (not !accepting) && !closed >= p.connections && not !all_done
+    in
+    if fin then all_done := true;
+    M.Mu.unlock gmu;
+    if fin then kick_all ()
+  in
+  let tolerant_del s fd =
+    try Uctx.epoll_del epfds.(s) fd
+    with Errno.Unix_error ((Errno.ENOENT | Errno.EBADF), _) -> ()
+  in
+  let retire s fd =
+    tolerant_del s fd;
+    Uctx.close fd;
+    M.Mu.lock gmu;
+    incr closed;
+    M.Mu.unlock gmu;
+    finish_check ()
+  in
+  let worker s () =
+    let rearm fd =
+      try Uctx.epoll_mod epfds.(s) fd ~want_in:true ~oneshot:true ()
+      with Errno.Unix_error ((Errno.ENOENT | Errno.EBADF), _) -> ()
+    in
+    (* per-worker request counter: the disk cadence needs no shared
+       state on the hot path *)
+    let nreq = ref 0 in
+    let serve_frames fd =
+      (* edge-triggered contract: drain every complete frame behind this
+         edge, then re-arm.  Spurious readiness (chaos EAGAIN, a stale
+         edge) simply re-arms. *)
+      let rec go () =
+        match Uctx.try_read fd ~len:p.request_bytes with
+        | `Again -> rearm fd
+        | `Eof | `Reset -> retire s fd
+        | `Data first ->
+            let got = String.length first in
+            if got < p.request_bytes then
+              ignore (Uctx.read_exact fd ~len:(p.request_bytes - got));
+            compute_phase p.parse_compute_us;
+            incr nreq;
+            let off = !nreq * 512 mod 65536 in
+            if p.disk_every > 0 && !nreq mod p.disk_every = 0 then
+              Shm.evict (Fs.segment file)
+                ~page:(Shm.page_of_offset ~offset:off);
+            Uctx.lseek data_fd off;
+            ignore (Uctx.read data_fd ~len:512);
+            compute_phase p.reply_compute_us;
+            Uctx.write_all fd reply_done;
+            go ()
+      in
+      go ()
+    in
+    let shed_frames fd =
+      let rec go () =
+        match Uctx.try_read fd ~len:p.request_bytes with
+        | `Again -> rearm fd
+        | `Eof | `Reset -> retire s fd
+        | `Data first ->
+            let got = String.length first in
+            if got < p.request_bytes then
+              ignore (Uctx.read_exact fd ~len:(p.request_bytes - got));
+            Uctx.note_shed ();
+            Uctx.write_all fd reply_busy;
+            go ()
+      in
+      go ()
+    in
+    let rec loop () =
+      M.Sem.p qsems.(s);
+      M.Mu.lock mus.(s);
+      let v = rings.(s).(heads.(s) mod ring_cap) in
+      heads.(s) <- heads.(s) + 1;
+      M.Mu.unlock mus.(s);
+      if v <> 0 then begin
+        let fd = abs v - 1 in
+        (try if v > 0 then serve_frames fd else shed_frames fd
+         with Errno.Unix_error ((Errno.ECONNRESET | Errno.EPIPE), _) ->
+           retire s fd);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let poller s () =
+    let accepting_here = ref true in
+    let accept_drain () =
+      let continue = ref true in
+      while !continue do
+        match Uctx.accept_nb lfd with
+        | `Conn fd ->
+            Uctx.epoll_add epfds.(s) fd ~want_in:true ~oneshot:true ();
+            M.Mu.lock gmu;
+            incr taken;
+            let last = !taken >= p.connections in
+            if last then accepting := false;
+            let act = !taken - !closed in
+            M.Mu.unlock gmu;
+            note_conn act;
+            if last then begin
+              accepting_here := false;
+              (* the shard that takes the last slot closes the listener;
+                 the other shards observe EBADF/`Aborted and stand down,
+                 and their stale interest entries are collected by the
+                 kernel at the next epoll_wait *)
+              (try Uctx.close lfd
+               with Errno.Unix_error (Errno.EBADF, _) -> ());
+              continue := false
+            end
+        | `Again -> continue := false
+        | `Aborted ->
+            accepting_here := false;
+            continue := false
+        | exception Errno.Unix_error (Errno.EBADF, _) ->
+            accepting_here := false;
+            continue := false
+      done
+    in
+    let rec ploop () =
+      if not !all_done then begin
+        let ready = Uctx.epoll_wait epfds.(s) ~max_events:poll_batch in
+        let dispatched = ref 0 in
+        List.iter
+          (fun fd ->
+            if fd = self_r.(s) then
+              (* a kick byte is guaranteed present behind the edge: only
+                 this poller drains its own self-pipe *)
+              ignore (Uctx.read self_r.(s) ~len:64)
+            else if fd = lfd then begin
+              if !accepting_here then accept_drain ()
+            end
+            else begin
+              M.Mu.lock mus.(s);
+              let depth = tails.(s) - heads.(s) in
+              let v =
+                if
+                  p.hardened && p.shed_queue_limit > 0
+                  && depth >= p.shed_queue_limit
+                then -(fd + 1)
+                else fd + 1
+              in
+              rings.(s).(tails.(s) mod ring_cap) <- v;
+              tails.(s) <- tails.(s) + 1;
+              M.Mu.unlock mus.(s);
+              incr dispatched
+            end)
+          ready;
+        for _ = 1 to !dispatched do
+          M.Sem.v qsems.(s)
+        done;
+        M.yield ();
+        ploop ()
+      end
+    in
+    ploop ();
+    M.Mu.lock mus.(s);
+    for _ = 1 to wps do
+      rings.(s).(tails.(s) mod ring_cap) <- 0;
+      tails.(s) <- tails.(s) + 1
+    done;
+    M.Mu.unlock mus.(s);
+    for _ = 1 to wps do
+      M.Sem.v qsems.(s)
+    done
+  in
+  let pollers_t = List.init shards (fun s -> M.spawn (poller s)) in
+  let workers_t =
+    List.concat
+      (List.init shards (fun s ->
+           List.init wps (fun _ -> M.spawn (worker s))))
+  in
+  List.iter M.join pollers_t;
+  List.iter M.join workers_t;
+  (* debrief: snapshot this process's epoll counters before teardown
+     (process exit clears the fd table, so post-run /proc shows nothing) *)
+  let me = Uctx.getpid () in
+  epoll_stats :=
+    !epoll_stats
+    @ List.filter (fun e -> e.Procfs.ei_pid = me) (Procfs.epolls k);
+  Array.iter Uctx.close epfds;
+  Array.iter Uctx.close self_r;
+  Array.iter Uctx.close self_w
+
 exception Conn_dead
 
 (* Hardened reply read: poll with the remaining budget, then drain
@@ -372,14 +670,14 @@ let deadline_read fd ~len ~deadline =
   in
   go ()
 
-(* The load generator: one client thread per connection, each running a
-   synchronous request/reply loop with exponential think time.  A
-   refused connect (no listener yet, or backlog full) backs off and
-   retries, so the arrival process adapts to the server exactly the way
-   a real client's SYN retransmit does.  In hardened mode the retry is
-   bounded with exponential backoff plus deterministic jitter, replies
-   carry a per-request deadline, and a dead connection aborts its
-   remaining requests instead of hanging the thread. *)
+(* The closed-loop load generator: one client thread per connection,
+   each running a synchronous request/reply loop with exponential think
+   time.  A refused connect (no listener yet, or backlog full) backs off
+   and retries, so the arrival process adapts to the server exactly the
+   way a real client's SYN retransmit does.  In hardened mode the retry
+   is bounded with exponential backoff plus deterministic jitter,
+   replies carry a per-request deadline, and a dead connection aborts
+   its remaining requests instead of hanging the thread. *)
 let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~shed
     ~aborted ~gaveup ~refused () =
   (* every client thread holds an LWP while it sleeps or awaits a reply,
@@ -455,7 +753,7 @@ let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~shed
             if String.length reply = p.reply_bytes then begin
               if is_busy reply then incr shed
               else begin
-                Hist.add latency (Time.diff (Uctx.gettime ()) t0);
+                Histo.add latency (Time.diff (Uctx.gettime ()) t0);
                 incr served
               end;
               incr done_reqs
@@ -482,6 +780,279 @@ let client (module M : Sunos_baselines.Model.S) p ~latency ~served ~shed
     Uctx.close fd
   done
 
+(* --- the open-loop load generator ------------------------------------- *)
+
+(* Poisson arrivals at a fixed offered rate, independent of server
+   progress — the closed-loop generator above slows down with the server
+   (coordinated omission) and so cannot show a latency knee.  One sender
+   thread draws inter-arrival gaps from a salted exponential stream and
+   stamps each request onto a connection with a free pipeline slot;
+   [pollers] reader shards collect replies through client-side epoll.
+   Connection state is compact parallel arrays — a timestamp ring of
+   [max_pending] slots, a have-bytes counter and a head-byte class per
+   connection; no thread, closure or list per connection.
+
+   Accounting: issued = connections * requests_per_conn arrivals, each
+   of which ends served (reply "done"), shed (reply "busy"), or aborted
+   (no free slot at arrival, write to a dead connection, reset/EOF with
+   replies outstanding, or still unanswered when the post-send drain
+   grace expires).  served + shed + aborted = issued, always. *)
+let client_open_loop (module M : Sunos_baselines.Model.S) k p ~latency
+    ~served ~shed ~aborted ~gaveup ~refused
+    ~(epoll_stats : Procfs.epoll_info list ref) () =
+  let shards = max 1 p.pollers in
+  let connectors = max 1 p.connectors in
+  M.set_concurrency
+    (if p.client_concurrency > 0 then p.client_concurrency
+     else shards + connectors + 2);
+  let n = p.connections in
+  let cap = max 1 p.max_pending in
+  let fds = Array.make (max 1 n) (-1) in
+  let alive = Array.make (max 1 n) false in
+  let sent = Array.make (max 1 (n * cap)) Time.zero in
+  let rhead = Array.make (max 1 n) 0 in
+  let npend = Array.make (max 1 n) 0 in
+  let have = Array.make (max 1 n) 0 in
+  let busy = Array.make (max 1 n) false in
+  let pending = Array.make shards 0 in
+  let sending_done = ref false in
+  let drain_over = ref false in
+  let epfds = Array.init shards (fun _ -> Uctx.epoll_create ()) in
+  let self_r = Array.make shards (-1) in
+  let self_w = Array.make shards (-1) in
+  for s = 0 to shards - 1 do
+    let r, w = Uctx.pipe () in
+    self_r.(s) <- r;
+    self_w.(s) <- w;
+    Uctx.epoll_add epfds.(s) r ~want_in:true ()
+  done;
+  let fdmap = Array.init shards (fun _ -> Hashtbl.create 64) in
+  let kick_all () = Array.iter (fun w -> ignore (Uctx.write w "!")) self_w in
+  let rec connect_forever () =
+    match Uctx.connect service_name with
+    | fd -> fd
+    | exception Errno.Unix_error (Errno.ECONNREFUSED, _) ->
+        incr refused;
+        Uctx.sleep (Time.ms 2);
+        connect_forever ()
+  in
+  let rec connect_bounded rng attempt =
+    match Uctx.connect service_name with
+    | fd -> Some fd
+    | exception Errno.Unix_error (Errno.ECONNREFUSED, _) ->
+        incr refused;
+        if p.connect_retry_limit > 0 && attempt >= p.connect_retry_limit
+        then None
+        else begin
+          let base = max 1 p.retry_base_us in
+          let backoff = base * (1 lsl min attempt 6) in
+          Uctx.sleep (Time.us (backoff + Rng.int rng base));
+          connect_bounded rng (attempt + 1)
+        end
+  in
+  (* connection establishment, striped across [connectors] threads;
+     the stagger ramp is honored per slot index *)
+  let connector j () =
+    let rng =
+      Rng.create ~seed:(Int64.add p.seed (Int64.of_int (104729 + j)))
+    in
+    let i = ref j in
+    while !i < n do
+      let idx = !i in
+      if p.connect_stagger_us > 0 then begin
+        let target =
+          Time.add Time.zero (Time.us (p.connect_stagger_us * idx))
+        in
+        let now = Uctx.gettime () in
+        if Time.(target > now) then Uctx.sleep (Time.diff target now)
+      end;
+      let conn =
+        if p.hardened then connect_bounded rng 0
+        else Some (connect_forever ())
+      in
+      (match conn with
+      | None -> incr gaveup
+      | Some fd ->
+          let s = idx mod shards in
+          fds.(idx) <- fd;
+          alive.(idx) <- true;
+          Hashtbl.replace fdmap.(s) fd idx;
+          Uctx.epoll_add epfds.(s) fd ~want_in:true ());
+      i := !i + connectors
+    done
+  in
+  let shard_hist =
+    Array.init shards (fun s ->
+        Histo.create (Printf.sprintf "latency-shard%d" s))
+  in
+  let reader s () =
+    (* byte-counting frame reassembly: a chunk may span replies; the
+       first byte of each frame classifies it ('b' = busy) *)
+    let consume i chunk =
+      let len = String.length chunk in
+      let off = ref 0 in
+      while !off < len do
+        if have.(i) = 0 then busy.(i) <- chunk.[!off] = 'b';
+        let need = p.reply_bytes - have.(i) in
+        let take = min need (len - !off) in
+        have.(i) <- have.(i) + take;
+        off := !off + take;
+        if have.(i) = p.reply_bytes then begin
+          have.(i) <- 0;
+          if npend.(i) > 0 then begin
+            let t0 = sent.((i * cap) + rhead.(i)) in
+            rhead.(i) <- (rhead.(i) + 1) mod cap;
+            npend.(i) <- npend.(i) - 1;
+            pending.(s) <- pending.(s) - 1;
+            if busy.(i) then incr shed
+            else begin
+              Histo.add shard_hist.(s) (Time.diff (Uctx.gettime ()) t0);
+              incr served
+            end
+          end
+        end
+      done
+    in
+    let kill_conn i =
+      if alive.(i) then begin
+        alive.(i) <- false;
+        Hashtbl.remove fdmap.(s) fds.(i);
+        aborted := !aborted + npend.(i);
+        pending.(s) <- pending.(s) - npend.(i);
+        npend.(i) <- 0;
+        have.(i) <- 0;
+        try Uctx.close fds.(i)
+        with Errno.Unix_error (Errno.EBADF, _) -> ()
+      end
+    in
+    let drain_conn i =
+      let continue = ref true in
+      while !continue && alive.(i) do
+        match Uctx.try_read fds.(i) ~len:8192 with
+        | `Data chunk -> consume i chunk
+        | `Again -> continue := false
+        | `Eof | `Reset -> kill_conn i
+      done
+    in
+    let finished = ref false in
+    while not !finished do
+      let ready = Uctx.epoll_wait epfds.(s) ~max_events:poll_batch in
+      List.iter
+        (fun fd ->
+          if fd = self_r.(s) then ignore (Uctx.read self_r.(s) ~len:64)
+          else
+            match Hashtbl.find_opt fdmap.(s) fd with
+            | Some i -> drain_conn i
+            | None -> ())
+        ready;
+      if !drain_over then begin
+        (* grace expired: whatever is still outstanding is lost *)
+        for i = 0 to n - 1 do
+          if i mod shards = s && alive.(i) then kill_conn i
+        done;
+        finished := true
+      end
+      else if !sending_done && pending.(s) = 0 then begin
+        for i = 0 to n - 1 do
+          if i mod shards = s && alive.(i) then begin
+            alive.(i) <- false;
+            Hashtbl.remove fdmap.(s) fds.(i);
+            Uctx.close fds.(i)
+          end
+        done;
+        finished := true
+      end
+    done
+  in
+  let sender () =
+    let rng = Rng.create ~seed:(Int64.add p.seed 15485863L) in
+    let total = n * p.requests_per_conn in
+    let mean_us =
+      if p.arrival_rate_rps > 0. then 1e6 /. p.arrival_rate_rps
+      else
+        (* default offered load: what [connections] closed-loop clients
+           with this think time would present to an infinitely fast
+           server *)
+        float_of_int p.think_time_us /. float_of_int (max 1 n)
+    in
+    (* request content is never parsed, only counted: one constant frame *)
+    let frame = pad "r" p.request_bytes in
+    let rr = ref 0 in
+    (* arrivals live on an absolute schedule: the next arrival time
+       advances by an exponential gap independent of how long the
+       previous send took.  The sender sleeps only when it is ahead of
+       the schedule — when it is behind (each sleep/wake cycle has a
+       scheduling cost far above a sub-millisecond gap) it sends the
+       overdue arrivals back to back.  Sleeping per arrival would
+       silently cap the offered rate at the scheduler's wakeup rate,
+       which is coordinated omission all over again. *)
+    let next_arrival = ref (Uctx.gettime ()) in
+    for _ = 1 to total do
+      let d = Rng.exponential rng ~mean:mean_us in
+      next_arrival := Time.add !next_arrival (Time.us_f d);
+      let now = Uctx.gettime () in
+      if Time.(!next_arrival > now) then
+        Uctx.sleep (Time.diff !next_arrival now);
+      (* round-robin probe for a connection with a free pipeline slot;
+         an arrival that finds none is shed at the client — in an open
+         system load does not wait for capacity *)
+      let placed = ref false in
+      let tries = ref 0 in
+      while (not !placed) && !tries < n do
+        let i = !rr in
+        rr := (!rr + 1) mod n;
+        incr tries;
+        if alive.(i) && npend.(i) < cap then begin
+          let t0 = Uctx.gettime () in
+          match Uctx.write_all fds.(i) frame with
+          | () ->
+              sent.((i * cap) + ((rhead.(i) + npend.(i)) mod cap)) <- t0;
+              npend.(i) <- npend.(i) + 1;
+              pending.(i mod shards) <- pending.(i mod shards) + 1;
+              placed := true
+          | exception
+              Errno.Unix_error
+                ((Errno.ECONNRESET | Errno.EPIPE | Errno.EBADF), _) ->
+              (* the connection died under the write (the reader may
+                 even have closed it while we blocked): the arrival
+                 happened and was lost *)
+              incr aborted;
+              placed := true
+        end
+      done;
+      if not !placed then incr aborted
+    done;
+    sending_done := true;
+    kick_all ();
+    let deadline =
+      Time.add (Uctx.gettime ()) (Time.us (max 0 p.drain_grace_us))
+    in
+    let total_pending () = Array.fold_left ( + ) 0 pending in
+    while total_pending () > 0 && Time.(Uctx.gettime () < deadline) do
+      Uctx.sleep (Time.ms 1)
+    done;
+    drain_over := true;
+    kick_all ()
+  in
+  let readers_t = List.init shards (fun s -> M.spawn (reader s)) in
+  let conns_t = List.init connectors (fun j -> M.spawn (connector j)) in
+  List.iter M.join conns_t;
+  sender ();
+  List.iter M.join readers_t;
+  let me = Uctx.getpid () in
+  epoll_stats :=
+    !epoll_stats
+    @ List.filter (fun e -> e.Procfs.ei_pid = me) (Procfs.epolls k);
+  Array.iter Uctx.close epfds;
+  Array.iter Uctx.close self_r;
+  Array.iter Uctx.close self_w;
+  Array.iter (fun h -> Histo.merge ~into:latency h) shard_hist;
+  (* the server's accept loop still expects [connections] arrivals *)
+  for _ = 1 to !gaveup do
+    let fd = connect_forever () in
+    Uctx.close fd
+  done
+
 let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?chaos
     ?domains ?(trace = false) ?debrief p =
   let k = Kernel.boot ~cpus ?cost ?chaos ?domains () in
@@ -491,33 +1062,41 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?chaos
       ignore (Fs.write f ~pos:0 (String.make 65536 's'));
       Shm.evict_all (Fs.segment f)
   | Error _ -> invalid_arg "Net_server.run: setup failed");
-  let latency = Hist.create "request latency" in
+  let latency = Histo.create "request latency" in
   let served = ref 0 and refused = ref 0 in
   let shed = ref 0 and aborted = ref 0 and gaveup = ref 0 in
   let max_concurrent = ref 0 in
   let makespan = ref Time.zero in
+  let epoll_stats = ref [] in
   let note_conn n = if n > !max_concurrent then max_concurrent := n in
   let finishing body () =
     body ();
     let t = Uctx.gettime () in
     if Time.(t > !makespan) then makespan := t
   in
+  let server_fn =
+    if p.epoll then server_epoll (module M) k p ~note_conn ~epoll_stats
+    else server (module M) k p ~note_conn
+  in
+  let client_fn =
+    if p.open_loop then
+      client_open_loop (module M) k p ~latency ~served ~shed ~aborted
+        ~gaveup ~refused ~epoll_stats
+    else
+      client (module M) p ~latency ~served ~shed ~aborted ~gaveup ~refused
+  in
   ignore
     (Kernel.spawn k ~name:"net-server"
-       ~main:(M.boot ?cost (finishing (server (module M) k p ~note_conn))));
+       ~main:(M.boot ?cost (finishing server_fn)));
   ignore
-    (Kernel.spawn k ~name:"loadgen"
-       ~main:
-         (M.boot ?cost
-            (finishing
-               (client (module M) p ~latency ~served ~shed ~aborted ~gaveup
-                  ~refused))));
+    (Kernel.spawn k ~name:"loadgen" ~main:(M.boot ?cost (finishing client_fn)));
   Kernel.run k;
   (* [debrief] runs against the still-live kernel: determinism tests read
      counters and the trace ring before the results are boxed up *)
   (match debrief with Some f -> f k | None -> ());
   Kernel.shutdown k;
   {
+    issued = p.connections * p.requests_per_conn;
     served = !served;
     shed = !shed;
     aborted = !aborted;
@@ -532,6 +1111,7 @@ let run (module M : Sunos_baselines.Model.S) ?(cpus = 1) ?cost ?chaos
        else 0.);
     lwps_created = Kernel.lwp_create_count k;
     syscalls = Kernel.syscall_count k;
+    epoll_stats = !epoll_stats;
   }
 
 let pp_results ppf r =
@@ -539,7 +1119,13 @@ let pp_results ppf r =
     "served=%d refused=%d peak_conns=%d makespan=%a throughput=%.0f req/s \
      lwps=%d latency: %a"
     r.served r.refused r.max_concurrent Time.pp r.makespan r.throughput_rps
-    r.lwps_created Hist.pp_summary r.latency;
+    r.lwps_created Histo.pp_summary r.latency;
   if r.shed > 0 || r.aborted > 0 || r.gaveup > 0 then
     Format.fprintf ppf " shed=%d aborted=%d gaveup=%d" r.shed r.aborted
-      r.gaveup
+      r.gaveup;
+  if r.epoll_stats <> [] then begin
+    Format.fprintf ppf "@.";
+    List.iter
+      (fun ei -> Format.fprintf ppf "  %a" Procfs.pp_epoll ei)
+      r.epoll_stats
+  end

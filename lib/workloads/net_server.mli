@@ -1,16 +1,34 @@
 (** The network-server workload from the paper's introduction, rebuilt
     as a proper event-driven server over the kernel socket subsystem.
 
-    The server process runs an acceptor thread (blocking [accept] loop),
-    a poller thread that multiplexes idle connections with [poll] (plus
-    a self-pipe so workers can wake it), and a fixed pool of worker
-    threads.  Each request costs parse CPU, a file read (cold every
-    [disk_every]-th request, hitting the disk), reply CPU, and the reply
-    write — which can block on socket backpressure when the client is
-    slow.  A separate load-generator process opens [connections]
-    concurrent connections, each issuing [requests_per_conn] synchronous
-    request/reply rounds with exponential think time; refused connects
-    (backlog overflow) back off and retry.
+    Two server architectures share the protocol.  The legacy server
+    (the default) runs an acceptor thread, a poller thread that rebuilds
+    and rescans the whole [poll] set on every wakeup — O(connections)
+    per event — and a fixed worker pool fed through a mutex-protected
+    queue.  With [epoll] set, the server shards into [pollers]
+    independent acceptor/poller LWPs, each owning a private epoll
+    instance, self-pipe and preallocated integer work ring with its
+    slice of the worker pool: readiness arrives as edge-triggered
+    events pushed by the kernel at state transitions, per-wakeup work
+    is O(ready), per-connection state is one ONESHOT interest entry
+    (no closures, threads or lists per connection), and there is no
+    central lock.
+
+    Two load generators, also sharing the protocol.  The closed-loop
+    generator (default) runs a thread per connection issuing
+    synchronous request/reply rounds with exponential think time —
+    faithful to the paper, but its arrival rate slows with the server
+    (coordinated omission).  With [open_loop] set, a single sender
+    issues Poisson arrivals at a fixed offered rate onto pre-opened
+    connections (compact timestamp-ring records, [max_pending] deep)
+    and [pollers] reader shards collect replies via client-side epoll;
+    latency is recorded in per-shard mergeable log-bucketed histograms
+    ({!Sunos_sim.Histogram}).
+
+    Each request costs parse CPU, a file read (cold every
+    [disk_every]-th request, hitting the disk), reply CPU, and the
+    reply write — which can block on socket backpressure when the
+    client is slow.
 
     With [hardened] set, both sides degrade gracefully under fault
     injection ({!Sunos_sim.Faultgen}): clients bound their connect
@@ -20,7 +38,8 @@
     "busy" replies once its work queue is [shed_queue_limit] deep
     (recording each shed where /proc can see it) and retires
     connections that die mid-request.  Every request is accounted for:
-    [served + shed + aborted = connections * requests_per_conn].
+    [served + shed + aborted = issued = connections * requests_per_conn]
+    in every mode.
 
     Runs on any {!Sunos_baselines.Model.S}: M:N serves cheap concurrency
     with a few LWPs; the user-level-only model stalls the whole server
@@ -29,6 +48,8 @@
 type params = {
   connections : int;  (** concurrent client connections *)
   requests_per_conn : int;
+      (** closed loop: synchronous rounds per connection; open loop:
+          multiplier for the total arrival count *)
   request_bytes : int;  (** fixed request frame size *)
   reply_bytes : int;  (** fixed reply frame size *)
   parse_compute_us : int;
@@ -50,13 +71,14 @@ type params = {
           applies.  The simulated schedule is bit-identical either way,
           for any domain count. *)
   disk_every : int;  (** every n-th request needs a cold file read *)
-  workers : int;  (** server worker-pool size *)
+  workers : int;  (** server worker-pool size (split across shards) *)
   concurrency : int;  (** server LWP-pool hint *)
   client_concurrency : int;
-      (** load-generator LWP-pool hint (0 = same as [concurrency]).
-          A client thread holds an LWP while sleeping or awaiting a
-          reply, so modelling [connections] truly independent clients
-          needs a pool that size. *)
+      (** load-generator LWP-pool hint (0 = same as [concurrency] for
+          the closed loop; readers + connectors + 2 for the open loop).
+          A closed-loop client thread holds an LWP while sleeping or
+          awaiting a reply, so modelling [connections] truly
+          independent clients needs a pool that size. *)
   listen_backlog : int;
   hardened : bool;
       (** enable bounded retry, deadlines, shedding and abort paths;
@@ -67,28 +89,57 @@ type params = {
       (** hardened: backoff base; attempt [n] sleeps
           [base * 2^min(n,6) + jitter(base)] *)
   request_deadline_us : int;
-      (** hardened: a client abandons its connection when a reply misses
-          this deadline (0 = wait forever) *)
+      (** hardened closed loop: a client abandons its connection when a
+          reply misses this deadline (0 = wait forever) *)
   shed_queue_limit : int;
       (** hardened: the server sheds new requests once its dispatch
-          queue is this deep (0 = never shed) *)
+          queue (ring, per shard when [epoll]) is this deep (0 = never
+          shed) *)
+  epoll : bool;
+      (** server uses sharded edge-triggered epoll readiness instead of
+          the central poll scan; off (the default) is byte-identical to
+          the legacy server *)
+  pollers : int;
+      (** shard count: server acceptor/poller LWPs when [epoll], and
+          client reader LWPs when [open_loop] *)
+  open_loop : bool;
+      (** replace the closed-loop generator with Poisson arrivals at a
+          fixed offered rate (client always uses epoll readers) *)
+  arrival_rate_rps : float;
+      (** open loop: offered request rate; 0 (default) derives the rate
+          [connections / think_time] an ideal closed loop would offer *)
+  max_pending : int;
+      (** open loop: per-connection pipeline depth — an arrival finding
+          every connection at this depth is aborted (client-side shed) *)
+  drain_grace_us : int;
+      (** open loop: how long after the last arrival to wait for
+          straggler replies before counting them aborted *)
+  connectors : int;  (** open loop: connection-establishment threads *)
   seed : int64;
 }
 
 val default_params : params
 
 type results = {
+  issued : int;  (** total requests offered: connections * requests_per_conn *)
   served : int;  (** complete replies received by clients *)
   shed : int;  (** "busy" replies: server refused the work under load *)
-  aborted : int;  (** requests abandoned: reset, EOF, deadline, give-up *)
+  aborted : int;  (** requests abandoned: reset, EOF, deadline, give-up,
+                      no free pipeline slot, or lost to the drain grace *)
   gaveup : int;  (** connections never admitted within the retry bound *)
   refused : int;  (** connect refusals (each may be retried) *)
   max_concurrent : int;  (** peak simultaneously-accepted connections *)
-  latency : Sunos_sim.Stats.Hist.t;  (** client-side request round trip *)
+  latency : Sunos_sim.Histogram.t;
+      (** client-side request round trip (log-bucketed; per-shard
+          histograms merged when [open_loop]) *)
   makespan : Sunos_sim.Time.span;
   throughput_rps : float;
   lwps_created : int;
   syscalls : int;
+  epoll_stats : Sunos_kernel.Procfs.epoll_info list;
+      (** per-epoll readiness counters snapshotted at teardown (server
+          shards first, then client readers); [[]] when neither side
+          used epoll *)
 }
 
 val run :

@@ -57,6 +57,37 @@ let net_probe () =
        p);
   Option.get !out
 
+(* The epoll server under the open-loop Poisson generator: readiness
+   lists, ONESHOT re-arms and the catch-up sender all on the golden
+   path.  Small enough to stay well under the trace-ring cap. *)
+let net_epoll_probe () =
+  let p =
+    {
+      S.default_params with
+      connections = 12;
+      requests_per_conn = 2;
+      disk_every = 8;
+      workers = 4;
+      concurrency = 8;
+      listen_backlog = 32;
+      epoll = true;
+      open_loop = true;
+      pollers = 2;
+      connectors = 2;
+      arrival_rate_rps = 400.;
+      max_pending = 2;
+      drain_grace_us = 2_000_000;
+    }
+  in
+  let out = ref None in
+  ignore
+    (S.run
+       (module Sunos_baselines.Mt)
+       ~cpus:2 ~trace:true
+       ~debrief:(fun k -> out := Some (probe_of_kernel k))
+       p);
+  Option.get !out
+
 let db_probe () =
   let p =
     {
@@ -100,6 +131,7 @@ let print_goldens () =
       p.tag_digest p.tag_count p.dispatches p.preemptions
   in
   show "net" (net_probe ());
+  show "net-epoll" (net_epoll_probe ());
   show "db" (db_probe ());
   show "kv" (kv_probe ~procs:2 ())
 
@@ -119,6 +151,15 @@ let golden_db =
     tag_count = 128;
     dispatches = 64;
     preemptions = 0;
+  }
+
+(* Recorded when the epoll server + open-loop generator landed. *)
+let golden_net_epoll =
+  {
+    tag_digest = "c2ca74fcfda3833e951a1f91804d96fd";
+    tag_count = 732;
+    dispatches = 276;
+    preemptions = 13;
   }
 
 (* Recorded when the kv store landed (process-shared synchronization). *)
@@ -141,6 +182,9 @@ let check name golden actual =
     actual.preemptions
 
 let test_net () = check "net-server" golden_net (net_probe ())
+
+let test_net_epoll () =
+  check "net-server-epoll" golden_net_epoll (net_epoll_probe ())
 let test_db () = check "database" golden_db (db_probe ())
 let test_kv () = check "kv-store" golden_kv (kv_probe ~procs:2 ())
 
@@ -162,6 +206,8 @@ let () =
         ( "golden",
           [
             Alcotest.test_case "net-server same-seed" `Quick test_net;
+            Alcotest.test_case "net-server epoll+open-loop same-seed" `Quick
+              test_net_epoll;
             Alcotest.test_case "database same-seed" `Quick test_db;
             Alcotest.test_case "kv-store same-seed" `Quick test_kv;
             Alcotest.test_case "kv-store run-to-run x procs" `Quick
