@@ -319,6 +319,120 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a demo scene and dump the kernel trace.")
     Term.(const trace $ n)
 
+(* ------------------------- explore / replay ------------------------- *)
+
+module Explore = Sunos_sim.Explore
+module Scenarios = Sunos_workloads.Explore_scenarios
+
+let pp_vector v =
+  String.concat " " (List.map string_of_int (Array.to_list v))
+
+let explore name max_schedules no_dpor stop_first =
+  if name = "" then begin
+    Format.printf "scenarios:@.";
+    List.iter
+      (fun sc ->
+        Format.printf "  %-18s %s%s@." sc.Scenarios.sc_name
+          sc.Scenarios.sc_descr
+          (if sc.Scenarios.sc_expect_fail then "  [expected failures]" else ""))
+      Scenarios.all
+  end
+  else
+    match Scenarios.find name with
+    | None ->
+        Printf.eprintf "unknown scenario %S (try `explore' with no name)\n"
+          name;
+        Stdlib.exit 2
+    | Some sc ->
+        let st =
+          Scenarios.explore ~dpor:(not no_dpor) ~max_schedules
+            ~stop_on_first_failure:stop_first sc
+        in
+        Format.printf
+          "%s: explored %d schedules, pruned %d, max depth %d%s: %d failing@."
+          name st.Explore.explored st.Explore.pruned st.Explore.max_decisions
+          (if st.Explore.capped then " (budget hit)" else "")
+          (List.length st.Explore.failures);
+        List.iteri
+          (fun i f ->
+            if i < 5 then
+              Format.printf "  fail: %s  vector: %s@." f.Explore.f_reason
+                (pp_vector f.Explore.f_vector))
+          st.Explore.failures;
+        (if st.Explore.failures <> [] && not sc.Scenarios.sc_expect_fail then
+           Format.printf "repro written: %s@."
+             (Explore.repro_path ~scenario:name));
+        (* exit 1 when the result contradicts the scenario's expectation *)
+        let ok =
+          if sc.Scenarios.sc_expect_fail then st.Explore.failures <> []
+          else st.Explore.failures = []
+        in
+        if not ok then Stdlib.exit 1
+
+let explore_cmd =
+  let scenario =
+    Arg.(value & pos 0 string ""
+         & info [] ~docv:"SCENARIO"
+             ~doc:"Scenario to exhaust (omit to list them).")
+  in
+  let max_schedules =
+    Arg.(value & opt int 100_000
+         & info [ "max-schedules" ] ~docv:"N"
+             ~doc:"Schedule budget before giving up.")
+  in
+  let no_dpor =
+    Arg.(value & flag
+         & info [ "no-dpor" ]
+             ~doc:"Disable the footprint partial-order reduction \
+                   (explore the raw tree).")
+  in
+  let stop_first =
+    Arg.(value & flag
+         & info [ "first" ] ~doc:"Stop at the first failing schedule.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively explore a sync scenario's schedules (DPOR model \
+             checking over the deterministic engine).")
+    Term.(const explore $ scenario $ max_schedules $ no_dpor $ stop_first)
+
+let replay file =
+  let scenario, vector =
+    try Explore.read_repro file
+    with Failure m | Sys_error m ->
+      Printf.eprintf "cannot read repro %S: %s\n" file m;
+      Stdlib.exit 2
+  in
+  match Scenarios.find scenario with
+  | None ->
+      Printf.eprintf "repro names unknown scenario %S\n" scenario;
+      Stdlib.exit 2
+  | Some sc -> (
+      Format.printf "replaying %s under vector: %s@." scenario
+        (pp_vector vector);
+      let outcome, diverged = Scenarios.replay sc ~vector in
+      (match diverged with
+      | Some d -> Format.printf "note: schedule divergence: %s@." d
+      | None -> ());
+      match outcome with
+      | Explore.Pass ->
+          Format.printf "%s: PASS under the recorded schedule@." scenario
+      | Explore.Fail reason ->
+          Format.printf "%s: FAIL reproduced: %s@." scenario reason;
+          Stdlib.exit 1)
+
+let replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"REPRO"
+             ~doc:"An explore-failure-<scenario>.repro file.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a failing schedule recorded by the explorer; exits 1 if \
+             the failure reproduces.")
+    Term.(const replay $ file)
+
 (* ------------------------- main ------------------------- *)
 
 let () =
@@ -332,4 +446,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ windows_cmd; server_cmd; database_cmd; array_cmd; microtask_cmd;
-            ps_cmd; trace_cmd ]))
+            ps_cmd; trace_cmd; explore_cmd; replay_cmd ]))

@@ -211,6 +211,11 @@ let exit_private s self =
 let rec enter_shared st at self =
   let c = cost_of self in
   Uctx.charge c.Cost.sync_fast;
+  (* same delivery point the private path has (enter_private): without
+     it a thread looping on a contended shared lock starves its pending
+     thread-directed signals — the missing-checkpoint class of
+     BUG 13/14, which the try_* audit found here too *)
+  Pool.thread_checkpoint ();
   if Thrsan.tracking () then Thrsan.acquiring self (mssan st at);
   if not st.s_locked then begin
     st.s_locked <- true;

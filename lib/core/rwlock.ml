@@ -112,6 +112,13 @@ let robust_unreg st (at : Syncvar.place) self =
     Robust.unregister ~seg_id:(Shm.id at.Syncvar.seg) ~offset:at.offset
       ~pid:self.pool.pid ~tid:self.tid
 
+(* Seeded-bug knob for the exploration suite (test-only, default off):
+   revert the upgrader to its pre-fix BUG 14 shape — a bare park with no
+   uq registration, promoted by waking the TCB directly whether or not
+   it is parked.  The explorer must re-find the phantom-runq-entry
+   crash that shape causes. *)
+let bug14_bare_upgrader = ref false
+
 (* Writer preference: new readers are admitted only when no writer holds
    or waits and no upgrade is pending. *)
 let can_read s =
@@ -170,16 +177,18 @@ let exit_priv s self =
     s.readers <- List.filter (fun t -> t != self) s.readers;
     if Thrsan.tracking () then Thrsan.released self (rsan s);
     match (s.readers, s.upgrader) with
-    | [ last ], Some up when last == up -> (
-        (* the upgrader is the only reader left: promote it — but only
-           if it is actually parked.  Waking it via its TCB regardless
-           (the old code) re-readied an upgrader that had been woken for
-           a signal and was not parked at all, planting a phantom runq
-           entry that an idle LWP later dispatched with no continuation
-           (BUG 14). *)
-        match Waitq.pop s.uq with
-        | Some u -> Pool.make_ready u Wake_normal
-        | None -> () (* between wakeups; it will re-check only_self *))
+    | [ last ], Some up when last == up ->
+        if !bug14_bare_upgrader then Pool.make_ready up Wake_normal
+        else (
+          (* the upgrader is the only reader left: promote it — but only
+             if it is actually parked.  Waking it via its TCB regardless
+             (the old code) re-readied an upgrader that had been woken
+             for a signal and was not parked at all, planting a phantom
+             runq entry that an idle LWP later dispatched with no
+             continuation (BUG 14). *)
+          match Waitq.pop s.uq with
+          | Some u -> Pool.make_ready u Wake_normal
+          | None -> () (* between wakeups; it will re-check only_self *))
     | [], _ -> wake_next s
     | _ :: _, _ -> ()
   end
@@ -227,7 +236,8 @@ let try_upgrade_priv s self =
             match
               Pool.suspend ~park:(fun tcb ->
                   tcb.tstate <- Tblocked;
-                  tcb.cancel_wait <- Waitq.add s.uq tcb)
+                  if not !bug14_bare_upgrader then
+                    tcb.cancel_wait <- Waitq.add s.uq tcb)
             with
             | Wake_normal -> wait ()
             | Wake_signal _ ->

@@ -54,5 +54,12 @@ val try_upgrade : t -> bool
 val readers : t -> int
 val has_writer : t -> bool
 
+val bug14_bare_upgrader : bool ref
+(** Seeded-bug knob for the schedule explorer: [true] reverts the BUG 14
+    fix (the pending upgrader parks bare and promotion re-readies it
+    through its TCB even when it is awake in a signal handler).  The
+    explorer's rwlock-upgrade scenario must find a failing schedule with
+    this on and none with it off.  Tests only. *)
+
 val owner_dead : t -> bool
 (** Racy snapshot of the [OWNERDEAD] flag. *)

@@ -23,6 +23,13 @@ let locate p ~key ~make =
       v
 
 let wait p ?timeout ~expect () =
+  (* delivery point: the shared primitives (mutex, rwlock, semaphore)
+     re-enter here from their retry loops on every wakeup, and a thread
+     blocked in kwait keeps tstate Trunning — thread_kill cannot wake
+     it, only queue the signal.  Running pending thread-directed
+     signals here keeps a kwait-looping thread from starving them (the
+     missing-checkpoint class of BUG 13/14). *)
+  Pool.thread_checkpoint ();
   (* auto-instrument bare syncvar waits for the sanitizer; primitives
      built on syncvars (shared mutex/rwlock) record their own richer
      edge first, which we must not overwrite — hence the [san_waiting]

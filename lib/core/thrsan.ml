@@ -236,7 +236,10 @@ let acquired self obj =
   obj.so_acq_seq <- !acq_seq;
   obj.so_holders <- self :: obj.so_holders;
   obj.so_last_holder <- thread_desc self;
-  if !order_mode then held_push self obj
+  (* held is maintained whenever the sanitizer tracks: the order
+     checker reads it, and so does the exploration driver (per-thread
+     lock footprints for its partial-order reduction) *)
+  held_push self obj
 
 let released self obj =
   let rec drop = function
@@ -244,7 +247,7 @@ let released self obj =
     | h :: rest -> if h == self then rest else h :: drop rest
   in
   obj.so_holders <- drop obj.so_holders;
-  if !order_mode then held_pop self obj
+  held_pop self obj
 
 let blocked_on ?(skip_self_hold = false) self obj =
   self.san_waiting <- Some obj;
@@ -431,7 +434,11 @@ let reset () =
   last_deadlock_r := None;
   last_hang_r := None;
   bare_parks_r := [];
-  reset_order_graph ()
+  reset_order_graph ();
+  (* drop cached syncvar objects: the exploration driver boots many
+     machines in one process, and a stale object's holder list would
+     let a dead run's threads leak into a fresh run's cycle search *)
+  Hashtbl.reset syncvar_objs
 
 let () =
   Printexc.register_printer (function

@@ -1,15 +1,24 @@
+module Schedctl = Sunos_sim.Schedctl
+
 type entry = { e_tcb : Ttypes.tcb; e_alive : bool ref }
 
-type t = entry Queue.t
+(* Each queue carries a small unique id so the exploration driver can
+   tell decision points apart in its logs.  Allocating it is a pure
+   counter bump — schedule-invariant. *)
+type t = { q : entry Queue.t; wq_id : int }
 
-let create () = Queue.create ()
+let next_id = ref 0
 
-let add q tcb =
+let create () =
+  incr next_id;
+  { q = Queue.create (); wq_id = !next_id }
+
+let add t tcb =
   let alive = ref true in
-  Queue.add { e_tcb = tcb; e_alive = alive } q;
+  Queue.add { e_tcb = tcb; e_alive = alive } t.q;
   fun () -> alive := false
 
-let rec pop q =
+let rec pop_passive q =
   match Queue.take_opt q with
   | None -> None
   | Some e ->
@@ -17,14 +26,58 @@ let rec pop q =
         e.e_alive := false;
         Some e.e_tcb
       end
-      else pop q
+      else pop_passive q
 
-let pop_all q =
+(* Driven (exploration) mode: the schedule driver picks which live
+   waiter is admitted; candidate 0 is the passive FIFO head.  The chosen
+   entry is dropped from wherever it sits; cancelled entries ahead of it
+   stay queued and are skipped by later pops, exactly as in passive
+   mode. *)
+let pop_driven t =
+  let cands =
+    List.rev
+      (Queue.fold
+         (fun acc e -> if !(e.e_alive) then e :: acc else acc)
+         [] t.q)
+  in
+  match cands with
+  | [] ->
+      Queue.clear t.q;
+      None
+  | cands ->
+      let i =
+        Schedctl.choose ~site:"waitq" ~obj:t.wq_id (List.length cands)
+      in
+      let chosen = List.nth cands i in
+      chosen.e_alive := false;
+      let removed = ref false in
+      let rest =
+        Queue.fold
+          (fun acc e ->
+            if (not !removed) && e == chosen then begin
+              removed := true;
+              acc
+            end
+            else e :: acc)
+          [] t.q
+      in
+      Queue.clear t.q;
+      List.iter (fun e -> Queue.add e t.q) (List.rev rest);
+      Some chosen.e_tcb
+
+let pop t = if Schedctl.active () then pop_driven t else pop_passive t.q
+
+(* Broadcast pops stay FIFO even when driven: every live entry wakes, so
+   admission order only shows up through the run queue — whose own
+   decision point explores it.  Choosing here too would square the state
+   space for nothing. *)
+let pop_all t =
   let rec go acc =
-    match pop q with None -> List.rev acc | Some t -> go (t :: acc)
+    match pop_passive t.q with None -> List.rev acc | Some x -> go (x :: acc)
   in
   go []
 
-let is_empty q = Queue.fold (fun acc e -> acc && not !(e.e_alive)) true q
+let is_empty t = Queue.fold (fun acc e -> acc && not !(e.e_alive)) true t.q
 
-let length q = Queue.fold (fun acc e -> if !(e.e_alive) then acc + 1 else acc) 0 q
+let length t =
+  Queue.fold (fun acc e -> if !(e.e_alive) then acc + 1 else acc) 0 t.q

@@ -50,6 +50,7 @@ let preemption_count (k : t) = Counter.value k.Ktypes.ctr_preemptions
 let sigwaiting_count (k : t) = Counter.value k.Ktypes.ctr_sigwaiting
 let lwp_create_count (k : t) = Counter.value k.Ktypes.ctr_lwp_creates
 
+let bug_sigwaiting_no_rearm = Kernel_impl.bug_sigwaiting_no_rearm
 let chaos k = (machine k).Machine.chaos
 let chaos_label k = Sunos_sim.Faultgen.label (chaos k)
 let chaos_counts k = Sunos_sim.Faultgen.counts (chaos k)

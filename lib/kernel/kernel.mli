@@ -68,6 +68,11 @@ val set_trace_tags : t -> string list option -> unit
     all).  Message formatting is skipped entirely for filtered-out tags,
     so a narrow filter keeps tracing cheap on hot paths. *)
 
+val bug_sigwaiting_no_rearm : bool ref
+(** Seeded-bug knob for the schedule explorer: [true] reverts the
+    SIGWAITING re-arm fix (any EINTR wake — timeout- or signal-caused —
+    skips re-arming the all-LWPs-blocked edge).  Tests only. *)
+
 val syscall_count : t -> int
 val dispatch_count : t -> int
 val preemption_count : t -> int

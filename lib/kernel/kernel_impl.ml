@@ -50,6 +50,12 @@ let chaos_roll k ~site rate =
   end
   else false
 
+(* Seeded-bug knob for the exploration suite (test-only, default off):
+   revert the SIGWAITING re-arm to its pre-fix shape — skip the re-arm
+   on ANY EINTR wakeup, not just signal-caused ones, so a timeout-EINTR
+   leaves pool growth disarmed.  The explorer must re-find that bug. *)
+let bug_sigwaiting_no_rearm = ref false
+
 let create ~machine =
   {
     machine;
@@ -119,12 +125,55 @@ let enqueue k lwp =
 let entry_live prio (lwp, gen, _seq) =
   lwp.runq_gen = gen && lwp.lstate = Lrunnable && global_prio lwp = prio
 
+(* Exploration (Schedctl-driven) variant of [pick]: enumerate every
+   live entry at the winning priority across both queues in enqueue-
+   sequence order and let the schedule driver choose.  Candidate 0 is
+   exactly the passive pick (each bucket is FIFO in seq, so the merged
+   head is the smaller of the two live fronts).  Removal is O(bucket);
+   exploration scenarios are tiny. *)
+let pick_driven k side =
+  let rec at_prio limit =
+    if limit < 0 then None
+    else
+      let prio =
+        max (Prioq.top_below k.runq limit) (Prioq.top_below side limit)
+      in
+      if prio < 0 then None
+      else begin
+        let keep = entry_live prio in
+        (* prune dead fronts so the occupancy masks stay honest, exactly
+           as the passive peek does *)
+        ignore (Sunos_sim.Prioq.peek_live k.runq prio ~keep);
+        ignore (Sunos_sim.Prioq.peek_live side prio ~keep);
+        let cands =
+          List.merge
+            (fun (_, _, s1) (_, _, s2) -> compare (s1 : int) s2)
+            (Prioq.live_entries k.runq prio ~keep)
+            (Prioq.live_entries side prio ~keep)
+        in
+        match cands with
+        | [] -> at_prio (prio - 1)
+        | cands ->
+            let i =
+              Sunos_sim.Schedctl.choose ~site:"dispatch" ~obj:prio
+                (List.length cands)
+            in
+            let ((lwp, _, _) as entry) = List.nth cands i in
+            if not (Prioq.remove k.runq prio entry) then
+              ignore (Prioq.remove side prio entry);
+            Some lwp
+      end
+  in
+  at_prio max_global_prio
+
 (* Pop the best eligible LWP for [cpu]: the highest occupied priority
    across the unbound queue and this CPU's side queue (two find-highest-
    set probes), FIFO within the priority by enqueue sequence.  O(1)
    amortized — no scanning, no skip-and-restore. *)
 let pick k cpu =
   let side = k.cpu_runqs.(Cpu.id cpu) in
+  if Sunos_sim.Schedctl.active () then pick_driven k side
+  else
   let rec at_prio limit =
     if limit < 0 then None
     else
@@ -704,7 +753,12 @@ and wake ?(sig_eintr = false) k lwp ret =
          skipping the re-arm for it could miss the next all-blocked edge
          entirely (the woken LWP re-blocks, nobody re-arms, no
          SIGWAITING, deadlock). *)
-      if not sig_eintr then lwp.proc.sigwaiting_armed <- true;
+      (if !bug_sigwaiting_no_rearm then begin
+         match ret with
+         | Sysdefs.R_err e when e = Errno.EINTR -> ()
+         | _ -> lwp.proc.sigwaiting_armed <- true
+       end
+       else if not sig_eintr then lwp.proc.sigwaiting_armed <- true);
       (* Wakeup boost keeps interactive timeshare LWPs responsive. *)
       (match lwp.cls with
       | Sc_timeshare ts -> ts.ts_pri <- min 59 (ts.ts_pri + 12)

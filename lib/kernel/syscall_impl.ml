@@ -1107,6 +1107,48 @@ let execute k lwp req =
       let woken = ref 0 in
       (match Hashtbl.find_opt k.futex key with
       | None -> ()
+      | Some q when Sunos_sim.Schedctl.active () ->
+          (* driven (exploration) mode: when the wake is selective
+             (fewer wakeups than live waiters), the schedule driver
+             picks who gets the word; candidate 0 is the passive FIFO
+             head.  A wake-all is order-free here — every waiter wakes
+             and the dispatch site explores their run order. *)
+          let live () =
+            List.rev
+              (Queue.fold
+                 (fun acc w ->
+                   if !(w.fw_alive) && w.fw_lwp.lstate = Lsleeping then
+                     w :: acc
+                   else acc)
+                 [] q)
+          in
+          let remove chosen =
+            let rest =
+              Queue.fold
+                (fun acc w -> if w == chosen then acc else w :: acc)
+                [] q
+            in
+            Queue.clear q;
+            List.iter (fun w -> Queue.add w q) (List.rev rest)
+          in
+          let draining = ref true in
+          while !draining && !woken < count do
+            match live () with
+            | [] ->
+                Queue.clear q;
+                draining := false
+            | cands ->
+                let n = List.length cands in
+                let i =
+                  if count - !woken >= n then 0
+                  else Sunos_sim.Schedctl.choose ~site:"kwake" ~obj:offset n
+                in
+                let w = List.nth cands i in
+                w.fw_alive := false;
+                remove w;
+                incr woken;
+                K.wake k w.fw_lwp R_ok
+          done
       | Some q ->
           while !woken < count && not (Queue.is_empty q) do
             let w = Queue.pop q in

@@ -1,0 +1,205 @@
+(* Explore: stateless model checking over the deterministic engine.
+
+   ROADMAP item 4's observation is that the hard part of a model checker
+   is already built: a run is a pure function of its inputs, so a
+   *schedule* is fully described by the vector of tie-break choices the
+   engine consulted Schedctl for.  This module enumerates those vectors.
+
+   The search is a DFS over decision-vector prefixes (the DSCheck /
+   Sthread shape).  Running prefix [p] means: replay the first |p|
+   choices, take the engine default (0) everywhere beyond, and log every
+   decision.  From the completed log we expand alternatives only at
+   indices >= |p| — the positions this run is the first to reach with
+   this prefix.  Positions inside [p] were expanded by an ancestor run;
+   never revisiting them is the classic sleep-set discipline expressed
+   structurally, and it makes the search tree exact: every leaf (full
+   choice vector) is executed exactly once.
+
+   Partial-order reduction: each decision logs, per candidate, the set
+   of sync objects the candidate is tied to — the object being decided
+   over (wait queues, futex channels: all candidates share it) or, for
+   run-queue picks, the locks the candidate thread currently holds
+   (thrsan's order bookkeeping knows object identity).  An alternative
+   whose footprint is disjoint from the taken candidate's commutes with
+   it at the sync-object level, so its subtree is skipped and counted in
+   [pruned].  Candidates with an empty (unknown) footprint are never
+   pruned.  The reduction is exact for scenarios whose cross-thread
+   communication flows through tracked sync objects — which is what the
+   bundled scenarios are — and [explore ~dpor:false] re-runs the full
+   tree for when that assumption is in doubt (the test suite checks both
+   modes find the same failures).
+
+   Each run is the caller's closure: boot a machine, run it, check
+   invariants, report Pass or Fail.  The explorer only owns the frontier
+   and the Schedctl driver lifecycle, so it lives in [lib/sim] with no
+   upward dependencies. *)
+
+type outcome = Pass | Fail of string
+
+type failure = {
+  f_vector : int array;  (* replayable decision vector *)
+  f_reason : string;
+  f_decisions : int;  (* decisions the failing run consumed *)
+}
+
+type stats = {
+  explored : int;  (* schedules actually executed *)
+  pruned : int;  (* alternatives skipped by the reduction *)
+  failures : failure list;  (* chronological *)
+  max_decisions : int;  (* deepest decision sequence seen *)
+  capped : bool;  (* hit max_schedules with frontier non-empty *)
+}
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+(* Can the alternative [alt] at decision [d] be skipped?  Only when both
+   its footprint and the taken candidate's are known (non-empty) and
+   share no sync object. *)
+let prunable (d : Schedctl.decision) alt =
+  Array.length d.d_foot > 0
+  &&
+  let taken = d.d_foot.(d.d_choice) and other = d.d_foot.(alt) in
+  taken <> [] && other <> [] && disjoint taken other
+
+let explore ?(dpor = true) ?(max_schedules = 100_000)
+    ?(stop_on_first_failure = false) run =
+  let frontier = ref [ [||] ] in
+  let explored = ref 0 in
+  let pruned = ref 0 in
+  let failures = ref [] in
+  let max_decisions = ref 0 in
+  let capped = ref false in
+  let stop = ref false in
+  while (not !stop) && !frontier <> [] do
+    if !explored >= max_schedules then begin
+      capped := true;
+      stop := true
+    end
+    else begin
+      let prefix, rest =
+        match !frontier with p :: r -> (p, r) | [] -> assert false
+      in
+      frontier := rest;
+      Schedctl.begin_run ~vector:prefix;
+      let outcome =
+        try run ()
+        with e ->
+          (* a scenario bug, not a scheduling outcome — don't bury it *)
+          Schedctl.abort_run ();
+          raise e
+      in
+      let log, diverged = Schedctl.end_run () in
+      incr explored;
+      let ds = Array.of_list log in
+      let n = Array.length ds in
+      if n > !max_decisions then max_decisions := n;
+      let fail reason =
+        failures :=
+          { f_vector = prefix; f_reason = reason; f_decisions = n }
+          :: !failures;
+        if stop_on_first_failure then stop := true
+      in
+      (match diverged with
+      | Some msg -> fail ("schedctl divergence (nondeterminism): " ^ msg)
+      | None -> (
+          match outcome with Pass -> () | Fail reason -> fail reason));
+      (* Expand the untaken branches this run is the first to reach.
+         Deeper positions are pushed first so the shallower alternatives
+         sit on top of the stack: the DFS stays near the root where
+         schedules differ early, which keeps replayed prefixes short. *)
+      if not !stop then
+        for j = n - 1 downto Array.length prefix do
+          let d = ds.(j) in
+          for alt = 1 to d.d_arity - 1 do
+            if dpor && prunable d alt then incr pruned
+            else begin
+              let v = Array.init (j + 1) (fun i -> ds.(i).d_choice) in
+              v.(j) <- alt;
+              frontier := v :: !frontier
+            end
+          done
+        done
+    end
+  done;
+  {
+    explored = !explored;
+    pruned = !pruned;
+    failures = List.rev !failures;
+    max_decisions = !max_decisions;
+    capped = !capped;
+  }
+
+(* Run one schedule standalone (the replay path). *)
+let run_vector ~vector run =
+  Schedctl.begin_run ~vector;
+  let outcome =
+    try run ()
+    with e ->
+      Schedctl.abort_run ();
+      raise e
+  in
+  let log, diverged = Schedctl.end_run () in
+  (outcome, log, diverged)
+
+(* ------------------------------------------------------------------ *)
+(* Repro files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A failing schedule is dumped as a small text file:
+
+     # sunos-mt schedule repro v1
+     scenario: rwlock-upgrade
+     reason: <first line of the failure reason>
+     vector: 0 1 2 0 1
+
+   `sunos-mt replay <file>` re-runs it standalone. *)
+
+let repro_path ~scenario = Printf.sprintf "explore-failure-%s.repro" scenario
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let write_repro ~path ~scenario ~reason ~vector =
+  let oc = open_out path in
+  Printf.fprintf oc "# sunos-mt schedule repro v1\n";
+  Printf.fprintf oc "scenario: %s\n" scenario;
+  Printf.fprintf oc "reason: %s\n" (first_line reason);
+  Printf.fprintf oc "vector:%s\n"
+    (String.concat ""
+       (List.map (Printf.sprintf " %d") (Array.to_list vector)));
+  close_out oc
+
+let read_repro path =
+  let ic = open_in path in
+  let scenario = ref None and vector = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       let pfx p =
+         if String.length line >= String.length p
+            && String.sub line 0 (String.length p) = p
+         then
+           Some
+             (String.trim
+                (String.sub line (String.length p)
+                   (String.length line - String.length p)))
+         else None
+       in
+       match pfx "scenario:" with
+       | Some s -> scenario := Some s
+       | None -> (
+           match pfx "vector:" with
+           | Some s ->
+               vector :=
+                 Some
+                   (String.split_on_char ' ' s
+                   |> List.filter (fun t -> t <> "")
+                   |> List.map int_of_string |> Array.of_list)
+           | None -> ())
+     done
+   with End_of_file -> close_in ic);
+  match (!scenario, !vector) with
+  | Some s, Some v -> (s, v)
+  | _ -> failwith (path ^ ": not a sunos-mt schedule repro file")

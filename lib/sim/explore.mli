@@ -1,0 +1,49 @@
+(** Stateless model checking over the deterministic engine: enumerate
+    every schedule (vector of {!Schedctl} tie-break choices) of a
+    scenario by DFS over decision-vector prefixes, with a sync-object
+    footprint partial-order reduction.  See DESIGN.md, "Schedule
+    exploration". *)
+
+type outcome = Pass | Fail of string
+
+type failure = {
+  f_vector : int array;  (** replayable decision vector *)
+  f_reason : string;
+  f_decisions : int;  (** decisions the failing run consumed *)
+}
+
+type stats = {
+  explored : int;  (** schedules actually executed *)
+  pruned : int;  (** alternatives skipped by the reduction *)
+  failures : failure list;  (** chronological *)
+  max_decisions : int;  (** deepest decision sequence seen *)
+  capped : bool;  (** hit [max_schedules] with work remaining *)
+}
+
+val explore :
+  ?dpor:bool ->
+  ?max_schedules:int ->
+  ?stop_on_first_failure:bool ->
+  (unit -> outcome) ->
+  stats
+(** [explore run] executes [run] once per schedule.  [run] must be a
+    pure function of the installed schedule: boot a fresh machine, run
+    it, judge the result.  Defaults: [dpor:true],
+    [max_schedules:100_000]. *)
+
+val run_vector :
+  vector:int array ->
+  (unit -> outcome) ->
+  outcome * Schedctl.decision list * string option
+(** Execute one schedule standalone (the replay path); returns the
+    outcome, the decision log, and any divergence diagnostic. *)
+
+val repro_path : scenario:string -> string
+(** [explore-failure-<scenario>.repro] *)
+
+val write_repro :
+  path:string -> scenario:string -> reason:string -> vector:int array -> unit
+
+val read_repro : string -> string * int array
+(** Parse a repro file back into (scenario, vector).  Raises
+    [Failure] on malformed input. *)

@@ -92,6 +92,35 @@ let drop_front t prio =
   ignore (Queue.pop q);
   if Queue.is_empty q then clear_bit t prio
 
+(* Exploration support (Schedctl driven mode): the systematic
+   dispatcher enumerates a bucket's live entries and removes the chosen
+   one from wherever it sits.  Passive dispatch never calls these — its
+   peek_live/drop_front path is untouched. *)
+
+let live_entries t prio ~keep =
+  List.rev
+    (Queue.fold
+       (fun acc x -> if keep x then x :: acc else acc)
+       [] t.buckets.(prio))
+
+let remove t prio x =
+  let q = t.buckets.(prio) in
+  let removed = ref false in
+  let rest =
+    Queue.fold
+      (fun acc y ->
+        if (not !removed) && y == x then begin
+          removed := true;
+          acc
+        end
+        else y :: acc)
+      [] q
+  in
+  Queue.clear q;
+  List.iter (fun y -> Queue.add y q) (List.rev rest);
+  if Queue.is_empty q then clear_bit t prio;
+  !removed
+
 let length t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buckets
 

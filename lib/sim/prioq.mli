@@ -35,6 +35,15 @@ val drop_front : 'a t -> int -> unit
 (** Remove the front entry of the bucket (raises [Queue.Empty] if the
     bucket is empty). *)
 
+val live_entries : 'a t -> int -> keep:('a -> bool) -> 'a list
+(** All entries of the bucket passing [keep], front first, without
+    mutating the queue.  Exploration support; O(bucket). *)
+
+val remove : 'a t -> int -> 'a -> bool
+(** Remove the first physically-equal occurrence of the entry from the
+    bucket; returns whether one was found.  Exploration support;
+    O(bucket). *)
+
 val length : 'a t -> int
 (** Total queued entries, including stale ones; O(levels). *)
 

@@ -1,0 +1,36 @@
+(** The schedule-control seam: tie-break points in the engine (CPU
+    dispatch within a priority, futex wakeup order, user-level run-queue
+    pick, wait-queue admission) consult [choose].  Passive mode (no
+    driver) always answers 0 and callers keep their original code path —
+    byte-identical to the engine without the seam, pinned by the
+    determinism goldens.  A driver installed by {!begin_run} replays a
+    recorded choice vector and logs every decision for the explorer. *)
+
+type decision = {
+  d_site : string;
+  d_obj : int;
+  d_arity : int;
+  d_choice : int;
+  d_foot : int list array;
+      (** per-candidate sync-object footprints ([[||]] when unreported);
+          the explorer prunes alternatives whose footprint is disjoint
+          from the taken candidate's *)
+}
+
+val active : unit -> bool
+(** One ref load; callers gate their candidate enumeration on this. *)
+
+val choose : site:string -> obj:int -> ?foot:(int -> int list) -> int -> int
+(** [choose ~site ~obj ~foot n] picks a candidate index in [0, n).
+    Passive: 0.  Driven: the vector's prescription for this position, or
+    0 beyond the vector.  Single-candidate decisions are not recorded. *)
+
+val begin_run : vector:int array -> unit
+(** Install a driver for one run.  Raises if one is already installed. *)
+
+val end_run : unit -> decision list * string option
+(** Harvest the decision log (chronological) and the divergence
+    diagnostic, if replay could not honor the vector.  Uninstalls. *)
+
+val abort_run : unit -> unit
+(** Uninstall without harvesting (exception cleanup). *)

@@ -1,0 +1,37 @@
+(** Explorable synchronization scenarios: small multi-thread programs
+    bundled with a pass/fail judgement, each a pure function of the
+    installed schedule so {!Sunos_sim.Explore} can enumerate every
+    interleaving.  The set re-verifies the schedule-sensitive fixes
+    (BUG 14's rwlock upgrader promotion, the SIGWAITING timeout-EINTR
+    re-arm) and demonstrates real-deadlock discovery on a three-lock
+    cycle.  See DESIGN.md, "Schedule exploration". *)
+
+type t = {
+  sc_name : string;  (** registry key; also names the repro file *)
+  sc_descr : string;
+  sc_expect_fail : bool;
+      (** exhaustion is {e expected} to find failing schedules (the
+          lock-chain deadlock); no repro file is written for these *)
+  sc_run : unit -> Sunos_sim.Explore.outcome;
+      (** boot, run, judge — pure in the schedule *)
+}
+
+val all : t list
+val find : string -> t option
+
+val explore :
+  ?dpor:bool ->
+  ?max_schedules:int ->
+  ?stop_on_first_failure:bool ->
+  ?repro_dir:string ->
+  t ->
+  Sunos_sim.Explore.stats
+(** Exhaust the scenario's schedules.  On the first {e unexpected}
+    failure (a scenario with [sc_expect_fail = false]), writes the
+    decision vector to [repro_dir]/[explore-failure-<name>.repro] for
+    standalone replay (default dir: ["."]). *)
+
+val replay : t -> vector:int array -> Sunos_sim.Explore.outcome * string option
+(** Run one recorded schedule; returns the outcome and any divergence
+    diagnostic (the vector no longer matching the program is reported,
+    not fatal). *)

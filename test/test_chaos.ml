@@ -464,6 +464,53 @@ let test_pool_replenishment () =
   Alcotest.(check bool) "LWP creation actually failed" true (!starved > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Burst windows                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Burst gating is a pure function of the clock: with rate 1.0 a fault
+   fires exactly when [now mod period] falls in the window's active
+   prefix — never outside it, always inside it. *)
+let burst_profile =
+  {
+    Faultgen.off with
+    label = "bursty";
+    burst_period_us = 1_000;
+    burst_len_us = 100;
+  }
+
+let test_burst_faults_cluster_in_window () =
+  let g = Faultgen.create ~seed:42L burst_profile in
+  let period = 1_000_000L and len = 100_000L in
+  let in_window = ref 0 and out_window = ref 0 in
+  (* sweep several periods at sub-window steps, straddling both edges *)
+  let now = ref 0L in
+  while Int64.compare !now 5_000_000L < 0 do
+    let fired = Faultgen.fire g ~now:!now ~site:"probe" 1.0 in
+    let inside = Int64.compare (Int64.unsigned_rem !now period) len < 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "fire at t=%Ldns agrees with the window" !now)
+      inside fired;
+    if inside then incr in_window else incr out_window;
+    now := Int64.add !now 12_500L
+  done;
+  (* the sweep really saw both sides of the gate *)
+  Alcotest.(check bool) "sweep crossed active windows" true (!in_window > 0);
+  Alcotest.(check bool) "sweep crossed quiet spans" true (!out_window > 0)
+
+(* The fault schedule is a pure function of (seed, profile): two
+   generators built alike answer an identical probe sequence alike,
+   and a different seed gives a different schedule. *)
+let test_burst_schedule_pure_in_seed () =
+  let sweep seed =
+    let p = { burst_profile with burst_len_us = 1_000 (* always in *) } in
+    let g = Faultgen.create ~seed p in
+    List.init 200 (fun i ->
+        Faultgen.fire g ~now:(Int64.of_int (i * 7_000)) ~site:"probe" 0.5)
+  in
+  Alcotest.(check (list bool))
+    "same (seed, profile): same fire sequence" (sweep 7L) (sweep 7L);
+  Alcotest.(check bool) "different seed: different fire sequence" true
+    (sweep 7L <> sweep 8L)
 
 let () =
   if Sys.getenv_opt "SUNOS_PRINT_GOLDENS" <> None then print_goldens ()
@@ -504,5 +551,12 @@ let () =
               test_injected_eagain_is_spurious;
             Alcotest.test_case "pool replenishes reaped LWPs" `Quick
               test_pool_replenishment;
+          ] );
+        ( "burst-windows",
+          [
+            Alcotest.test_case "faults cluster inside the window" `Quick
+              test_burst_faults_cluster_in_window;
+            Alcotest.test_case "schedule pure in (seed, profile)" `Quick
+              test_burst_schedule_pure_in_seed;
           ] );
       ]

@@ -142,6 +142,53 @@ let test_empty_and_reset () =
   Alcotest.(check int) "reset count" 0 (H.count h);
   Alcotest.(check string) "name survives reset" "empty" (H.name h)
 
+(* ---------------------- qcheck properties ---------------------------- *)
+
+let qt = QCheck_alcotest.to_alcotest
+let probe_ps = [ 0.; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+(* Merging an empty histogram is the identity in both directions:
+   count, mean, max, and every percentile are those of the populated
+   side alone. *)
+let prop_merge_empty_identity =
+  QCheck.Test.make ~count:200 ~name:"merge with empty is identity"
+    QCheck.(small_list (int_bound 2_000_000))
+    (fun vs ->
+      let a = H.create "a" and b = H.create "b" in
+      List.iter
+        (fun v ->
+          add_i a v;
+          add_i b v)
+        vs;
+      H.merge ~into:a (H.create "empty-src");
+      let into_empty = H.create "empty-dst" in
+      H.merge ~into:into_empty b;
+      let same x y =
+        H.count x = H.count y
+        && (vs = []
+           || H.mean x = H.mean y
+              && span_i64 (H.max x) = span_i64 (H.max y)
+              && List.for_all (fun p -> pct_i x p = pct_i y p) probe_ps)
+      in
+      same a b && same into_empty b)
+
+(* One sample: every percentile in [0,1] is that sample (negatives
+   recorded as 0), because the quantile's bucket upper bound clamps to
+   the exact observed max. *)
+let prop_single_sample_percentiles =
+  QCheck.Test.make ~count:500 ~name:"single-sample percentile edges"
+    QCheck.(pair (int_range (-5) 3_000_000) (float_bound_inclusive 1.0))
+    (fun (v, p) ->
+      let h = H.create "one" in
+      add_i h v;
+      let clamped = if v < 0 then 0 else v in
+      H.count h = 1
+      && Int64.to_int (span_i64 (H.min h)) = clamped
+      && Int64.to_int (span_i64 (H.max h)) = clamped
+      && pct_i h p = clamped
+      && pct_i h 0. = clamped
+      && pct_i h 1. = clamped)
+
 let () =
   Alcotest.run "histogram"
     [
@@ -160,4 +207,6 @@ let () =
           Alcotest.test_case "merge is exact" `Quick test_merge_exact;
           Alcotest.test_case "empty/reset/raises" `Quick test_empty_and_reset;
         ] );
+      ( "properties",
+        [ qt prop_merge_empty_identity; qt prop_single_sample_percentiles ] );
     ]

@@ -10,12 +10,15 @@ module Faultgen = Sunos_sim.Faultgen
 module Kernel = Sunos_kernel.Kernel
 module Uctx = Sunos_kernel.Uctx
 module Procfs = Sunos_kernel.Procfs
+module Signo = Sunos_kernel.Signo
+module Sysdefs = Sunos_kernel.Sysdefs
 module T = Sunos_threads.Thread
 module Libthread = Sunos_threads.Libthread
 module Mutex = Sunos_threads.Mutex
 module Condvar = Sunos_threads.Condvar
 module Rwlock = Sunos_threads.Rwlock
 module Syncvar = Sunos_threads.Syncvar
+module Semaphore = Sunos_threads.Semaphore
 module Thrsan = Sunos_threads.Thrsan
 
 (* ------------------- anon mapping semantics at fork ------------------- *)
@@ -401,6 +404,89 @@ let test_thrsan_names_shared_objects () =
           Alcotest.(check string) "wanted named by placement" "[anon]+0"
             wanted)
 
+(* ------------- thread-signal delivery in shared-sync loops ------------ *)
+
+(* The missing-checkpoint class of BUG 13/14, shared-mutex edition: a
+   thread cycling on a process-shared mutex must pass a thread-level
+   delivery point on every acquisition, so a pending thread_kill
+   reaches its handler mid-loop.  Kernel-level kwait wakeups keep
+   tstate Trunning — thread_kill can only queue the signal — so
+   enter_shared's own checkpoint is the only delivery point the loop
+   has. *)
+let test_shared_mutex_loop_delivers_thread_kill () =
+  let k = Kernel.boot ~cpus:2 () in
+  let handled = ref false and handled_mid_loop = ref false in
+  ignore
+    (Kernel.spawn k ~name:"mxsig"
+       ~main:
+         (Libthread.boot (fun () ->
+              ignore
+                (T.sigaction Signo.sigusr1
+                   (Sysdefs.Sig_handler (fun _ -> handled := true)));
+              let seg = Uctx.mmap_anon ~size:4096 ~shared:true in
+              let m = Mutex.create_shared (Syncvar.place seg ~offset:0) in
+              let started = Semaphore.create () in
+              let victim =
+                T.create
+                  ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+                  (fun () ->
+                    Semaphore.v started;
+                    for _ = 1 to 100 do
+                      Mutex.enter m;
+                      Uctx.charge_us 20;
+                      Mutex.exit m
+                    done;
+                    (* recorded by the victim itself, before any
+                       delivery point that thread exit might add *)
+                    handled_mid_loop := !handled)
+              in
+              Semaphore.p started;
+              Uctx.sleep (Time.us 200);
+              T.kill victim Signo.sigusr1;
+              ignore (T.wait ~thread:victim ()))));
+  Kernel.run k;
+  Alcotest.(check bool) "thread_kill delivered inside the lock loop" true
+    !handled_mid_loop
+
+(* Same class, bare syncvar edition: a thread polling Syncvar.wait with
+   short kwait timeouts never leaves Trunning, so without a checkpoint
+   at wait entry a pending thread_kill starves for the whole loop. *)
+let test_syncvar_wait_loop_delivers_thread_kill () =
+  let k = Kernel.boot ~cpus:2 () in
+  let handled = ref false and handled_mid_loop = ref false in
+  ignore
+    (Kernel.spawn k ~name:"svsig"
+       ~main:
+         (Libthread.boot (fun () ->
+              ignore
+                (T.sigaction Signo.sigusr1
+                   (Sysdefs.Sig_handler (fun _ -> handled := true)));
+              let seg = Uctx.mmap_anon ~size:4096 ~shared:true in
+              let pl = Syncvar.place seg ~offset:0 in
+              let started = Semaphore.create () in
+              let victim =
+                T.create
+                  ~flags:[ T.THREAD_BIND_LWP; T.THREAD_WAIT ]
+                  (fun () ->
+                    Semaphore.v started;
+                    let rounds = ref 0 in
+                    while (not !handled) && !rounds < 200 do
+                      incr rounds;
+                      ignore
+                        (Syncvar.wait pl ~timeout:(Time.us 100)
+                           ~expect:(fun () -> true)
+                           ())
+                    done;
+                    handled_mid_loop := !handled)
+              in
+              Semaphore.p started;
+              Uctx.sleep (Time.us 300);
+              T.kill victim Signo.sigusr1;
+              ignore (T.wait ~thread:victim ()))));
+  Kernel.run k;
+  Alcotest.(check bool) "thread_kill delivered inside the kwait loop" true
+    !handled_mid_loop
+
 let () =
   Alcotest.run "usync"
     [
@@ -437,5 +523,12 @@ let () =
             test_procfs_wait_channels;
           Alcotest.test_case "thrsan names shared objects" `Quick
             test_thrsan_names_shared_objects;
+        ] );
+      ( "signal-delivery",
+        [
+          Alcotest.test_case "shared-mutex loop delivers thread_kill" `Quick
+            test_shared_mutex_loop_delivers_thread_kill;
+          Alcotest.test_case "syncvar-wait loop delivers thread_kill" `Quick
+            test_syncvar_wait_loop_delivers_thread_kill;
         ] );
     ]
